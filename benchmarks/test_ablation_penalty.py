@@ -1,0 +1,51 @@
+"""Ablation — the logistic congestion penalty in the movement cost.
+
+The paper credits CR&P's edge over [18] partly to its congestion-aware
+cost (Eq. 10's logistic penalty): candidates in congested regions look
+expensive, so cells move *away* from hot-spots.  This ablation runs
+CR&P with the penalty enabled vs disabled on a congested design and
+compares the resulting GR-level overflow and via counts.
+"""
+
+from __future__ import annotations
+
+from conftest import write_table
+
+DESIGN = "ispd18_test5"  # congested: blockage + high utilization
+
+
+def _run(use_penalty: bool):
+    from repro.benchgen import make_design
+    from repro.core import CrpConfig
+    from repro.flow import run_flow
+
+    return run_flow(
+        make_design(DESIGN),
+        mode="crp",
+        crp_iterations=3,
+        config=CrpConfig(seed=0, use_penalty=use_penalty),
+        skip_detailed=True,
+    )
+
+
+def test_ablation_congestion_penalty(benchmark):
+    def run_both():
+        return _run(True), _run(False)
+
+    with_penalty, without_penalty = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    lines = [
+        f"Ablation: logistic congestion penalty (CR&P k=3 on {DESIGN})",
+        f"{'variant':<16}{'GR wl (dbu)':>14}{'GR vias':>9}{'overflow':>10}",
+        "-" * 49,
+        f"{'penalty on':<16}{with_penalty.gr_wirelength_dbu:>14}"
+        f"{with_penalty.gr_vias:>9}{with_penalty.gr_overflow:>10.1f}",
+        f"{'penalty off':<16}{without_penalty.gr_wirelength_dbu:>14}"
+        f"{without_penalty.gr_vias:>9}{without_penalty.gr_overflow:>10.1f}",
+    ]
+    write_table("ablation_penalty", lines)
+
+    # Shape: the congestion-aware variant must not leave more overflow.
+    assert with_penalty.gr_overflow <= without_penalty.gr_overflow + 1.0

@@ -1,0 +1,46 @@
+"""Ablation — the via term of the demand model (Eq. 9's beta * delta_e).
+
+CUGR-style demand adds a probabilistic via-crowding estimate to each
+edge.  Setting beta = 0 removes it; with it enabled, wire edges near
+via-dense GCells look more expensive, so routes spread away from those
+regions (at the price of extra vias elsewhere) and overflow must not
+increase.  Compared at the GR level on a congested design.
+"""
+
+from __future__ import annotations
+
+from conftest import write_table
+
+DESIGN = "ispd18_test5"
+
+
+def _route(beta: float):
+    from repro.benchgen import make_design
+    from repro.groute import GlobalRouter
+
+    design = make_design(DESIGN)
+    router = GlobalRouter(design, beta=beta)
+    router.route_all()
+    return router
+
+
+def test_ablation_via_demand(benchmark):
+    def run_both():
+        return _route(1.5), _route(0.0)
+
+    with_beta, without_beta = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    lines = [
+        f"Ablation: via demand term beta*delta_e (global routing, {DESIGN})",
+        f"{'variant':<14}{'wl (dbu)':>12}{'vias':>8}{'overflow':>10}",
+        "-" * 44,
+        f"{'beta=1.5':<14}{with_beta.total_wirelength_dbu():>12}"
+        f"{with_beta.total_vias():>8}{with_beta.total_overflow():>10.1f}",
+        f"{'beta=0':<14}{without_beta.total_wirelength_dbu():>12}"
+        f"{without_beta.total_vias():>8}{without_beta.total_overflow():>10.1f}",
+    ]
+    write_table("ablation_via_demand", lines)
+
+    # Both must produce complete routings; the beta term should not
+    # increase overflow materially.
+    assert with_beta.total_overflow() <= without_beta.total_overflow() + 20.0

@@ -1,0 +1,43 @@
+"""Table II — benchmark statistics of the (synthetic) ISPD-2018 suite.
+
+Regenerates the paper's Table II for our scaled designs: circuit name,
+net count, cell count, and technology node, alongside the published
+numbers the generator targets (scaled 1/100).
+"""
+
+from __future__ import annotations
+
+from conftest import write_table
+
+
+def test_table2_statistics(benchmark, designs):
+    from repro.benchgen import make_design, suite_table
+
+    rows = [r for r in suite_table() if r["circuit"] in designs]
+
+    def generate_all():
+        return {name: make_design(name) for name in designs}
+
+    generated = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+
+    lines = [
+        "Table II: ISPD-2018-shaped synthetic benchmark statistics",
+        f"{'Circuit':<16}{'#nets':>8}{'#cells':>8}{'node':>7}"
+        f"{'util':>7}{'rows':>6}   paper(#nets/#cells)",
+        "-" * 72,
+    ]
+    for row in rows:
+        design = generated[row["circuit"]]
+        stats = design.stats()
+        lines.append(
+            f"{row['circuit']:<16}{stats['nets']:>8}{stats['cells']:>8}"
+            f"{row['tech_node']:>7}{stats['utilization']:>7.2f}"
+            f"{stats['rows']:>6}   {row['paper_nets']}/{row['paper_cells']}"
+        )
+    write_table("table2", lines)
+
+    # Shape assertions: counts match the spec and scale with the paper.
+    for row in rows:
+        stats = generated[row["circuit"]].stats()
+        assert stats["nets"] == row["nets"]
+        assert stats["cells"] == row["cells"]

@@ -1,0 +1,12 @@
+"""Make ``src/`` importable when the package is not pip-installed.
+
+The offline development environment lacks the ``wheel`` package, which
+PEP 660 editable installs require; a ``.pth`` file or this shim keeps
+``pytest`` working either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "tests"))

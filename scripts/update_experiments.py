@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Refresh the measured-results section of EXPERIMENTS.md.
+
+Copies every table under bench_results/ into the section after the
+``<!-- RESULTS -->`` marker.  Run after ``pytest benchmarks/
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+MARKER = "<!-- RESULTS -->"
+
+ORDER = [
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "ablation_penalty",
+    "ablation_selection",
+    "ablation_via_demand",
+    "ablation_window",
+]
+
+
+def main() -> None:
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    head, _, _ = text.partition(MARKER)
+    blocks = [head.rstrip() + "\n\n" + MARKER + "\n"]
+    for name in ORDER:
+        path = ROOT / "bench_results" / f"{name}.txt"
+        if not path.exists():
+            continue
+        blocks.append(f"\n### {name}\n\n```\n{path.read_text().rstrip()}\n```\n")
+    experiments.write_text("".join(blocks))
+    print(f"updated {experiments}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this repo is developed in has no ``wheel`` package and no
+network access, so PEP 660 editable installs fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern toolchains with wheel available) work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""CR&P: An Efficient Co-operation between Routing and Placement.
+
+A full Python reproduction of the DATE 2022 paper by Aghaeekiasaraee et
+al.  The package contains every substrate the paper's flow depends on —
+LEF/DEF parsing, a design database, a CUGR-style 3D global router, a
+TritonRoute-style detailed router, an ILP solver, an ILP-based legalizer —
+plus the paper's contribution: the CR&P iterative replacement-and-
+rerouting framework, the Fontana et al. baseline it compares against, the
+ISPD-2018-style evaluator, and a synthetic benchmark generator.
+
+Quickstart::
+
+    from repro import benchgen, flow
+
+    design = benchgen.make_design("ispd18_test1")
+    result = flow.run_flow(design, crp_iterations=1)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "geom",
+    "tech",
+    "lefdef",
+    "db",
+    "grid",
+    "flute",
+    "ilp",
+    "legalizer",
+    "groute",
+    "droute",
+    "core",
+    "baseline",
+    "evalmetrics",
+    "benchgen",
+    "flow",
+    "viz",
+]

@@ -1,0 +1,7 @@
+"""Reimplementation of the state of the art CR&P compares against:
+Fontana et al., "ILP-based global routing optimization with cell
+movements" (ISVLSI 2021), reference [18] of the paper."""
+
+from repro.baseline.fontana import FontanaBaseline, FontanaResult
+
+__all__ = ["FontanaBaseline", "FontanaResult"]

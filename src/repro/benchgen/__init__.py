@@ -1,0 +1,21 @@
+"""Synthetic ISPD-2018-style benchmark generation.
+
+The contest LEF/DEF files are not redistributable, so this package
+generates designs with the same *shape*: row-based standard-cell layouts
+at high utilization, clustered netlists whose locality creates realistic
+congestion hot-spots, fixed macro blockages, and the relative cell/net
+counts of Table II (scaled down to keep a pure-Python flow tractable).
+"""
+
+from repro.benchgen.techlib import build_tech
+from repro.benchgen.generator import DesignSpec, generate_design
+from repro.benchgen.suites import SUITE, make_design, suite_table
+
+__all__ = [
+    "build_tech",
+    "DesignSpec",
+    "generate_design",
+    "SUITE",
+    "make_design",
+    "suite_table",
+]

@@ -1,0 +1,111 @@
+"""Synthetic standard-cell technology libraries (45 nm / 32 nm flavours)."""
+
+from __future__ import annotations
+
+from repro.geom import Rect
+from repro.tech import (
+    Layer,
+    LayerDirection,
+    Macro,
+    MacroPin,
+    PinDirection,
+    PinShape,
+    Site,
+    Technology,
+)
+
+#: (name, width in sites, input pins, output pins)
+_CELL_SHAPES: list[tuple[str, int, list[str], list[str]]] = [
+    ("INV_X1", 2, ["A"], ["Y"]),
+    ("BUF_X2", 3, ["A"], ["Y"]),
+    ("NAND2_X1", 3, ["A", "B"], ["Y"]),
+    ("NOR2_X1", 3, ["A", "B"], ["Y"]),
+    ("XOR2_X1", 4, ["A", "B"], ["Y"]),
+    ("AOI22_X1", 5, ["A1", "A2", "B1", "B2"], ["Y"]),
+    ("DFF_X1", 8, ["D", "CK"], ["Q", "QN"]),
+]
+
+
+def build_tech(node: str = "45nm", num_layers: int = 9) -> Technology:
+    """A Technology shaped like the contest's: 9 metals, one CORE site.
+
+    ``node`` scales the geometry: the 32 nm flavour uses a finer site and
+    tighter pitches, mirroring how ispd18_test4-10 differ from test1-3.
+    """
+    if node == "45nm":
+        site_width, row_height, pitch = 200, 1400, 200
+    elif node == "32nm":
+        # Row height is a pitch multiple so FS rows keep pins on-track.
+        site_width, row_height, pitch = 150, 1050, 150
+    else:
+        raise ValueError(f"unknown node {node!r}")
+
+    tech = Technology(name=f"synth_{node}", dbu_per_micron=1000)
+    tech.add_site(Site("core", site_width, row_height))
+    width = pitch * 3 // 10
+    spacing = pitch - width
+    for index in range(num_layers):
+        direction = (
+            LayerDirection.HORIZONTAL if index % 2 == 0 else LayerDirection.VERTICAL
+        )
+        tech.add_layer(
+            Layer(
+                name=f"Metal{index + 1}",
+                index=index,
+                direction=direction,
+                pitch=pitch,
+                width=width,
+                spacing=spacing,
+                min_area=2 * width * width,
+                offset=pitch // 2,
+            )
+        )
+    tech.make_default_vias()
+
+    for name, width_sites, inputs, outputs in _CELL_SHAPES:
+        macro = _make_macro(
+            name, width_sites, inputs, outputs, site_width, row_height, pitch
+        )
+        tech.add_macro(macro)
+    return tech
+
+
+def _make_macro(
+    name: str,
+    width_sites: int,
+    inputs: list[str],
+    outputs: list[str],
+    site_width: int,
+    row_height: int,
+    pitch: int,
+) -> Macro:
+    """A macro with evenly spread Metal1 pin landing pads."""
+    width = width_sites * site_width
+    macro = Macro(name=name, width=width, height=row_height, site_name="core")
+    pin_names = [(p, PinDirection.INPUT) for p in inputs] + [
+        (p, PinDirection.OUTPUT) for p in outputs
+    ]
+    # Pins land exactly on track crossings so detailed-routing access is
+    # unambiguous: x on distinct vertical tracks, a shared mid-cell y.
+    # Cells are site-aligned and site_width == pitch, and the track offset
+    # is pitch/2, so macro-local offset + k*pitch stays on-track after
+    # placement; row_height is a pitch multiple so FS flips stay on-track.
+    offset = pitch // 2
+    x_tracks = list(range(offset, width, pitch))
+    if len(x_tracks) < len(pin_names):
+        raise ValueError(f"macro {name}: more pins than vertical tracks")
+    # Stagger pin rows across the middle horizontal tracks so cells in a
+    # row do not contend for a single M3 track; the middle tracks map to
+    # middle tracks under an FS flip, keeping pins on-track in odd rows.
+    y_tracks = list(range(offset, row_height, pitch))
+    middle = y_tracks[1:-1] or y_tracks
+    pad = max(20, pitch // 4)
+    stride = max(1, len(x_tracks) // len(pin_names))
+    for i, (pin_name, direction) in enumerate(pin_names):
+        cx = x_tracks[min(i * stride, len(x_tracks) - 1)]
+        cy = middle[i % len(middle)]
+        rect = Rect(cx - pad, cy - pad, cx + pad, cy + pad)
+        pin = MacroPin(name=pin_name, direction=direction)
+        pin.shapes.append(PinShape(layer=0, rect=rect))
+        macro.add_pin(pin)
+    return macro

@@ -1,0 +1,175 @@
+"""Command-line interface: ``crp`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``crp table2`` — print the synthetic suite statistics (Table II).
+* ``crp run -b ispd18_test2 -m crp -k 10`` — one flow run.
+* ``crp suite -b ispd18_test1 ispd18_test2`` — Table III rows for the
+  given designs (baseline, [18], CR&P k=1, CR&P k=10).
+* ``crp dump -b ispd18_test2 -o outdir`` — write LEF/DEF/guides for a
+  synthetic benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="crp",
+        description="CR&P (DATE 2022) reproduction flows",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table2 = sub.add_parser("table2", help="print suite statistics")
+
+    p_run = sub.add_parser("run", help="run one flow")
+    p_run.add_argument("-b", "--bench", required=True)
+    p_run.add_argument(
+        "-m", "--mode", default="crp", choices=("baseline", "crp", "fontana")
+    )
+    p_run.add_argument("-k", "--iterations", type=int, default=1)
+    p_run.add_argument("--skip-detailed", action="store_true")
+
+    p_suite = sub.add_parser("suite", help="Table III rows for designs")
+    p_suite.add_argument("-b", "--bench", nargs="+", required=True)
+    p_suite.add_argument("--k10", action="store_true", help="include k=10")
+
+    p_dump = sub.add_parser("dump", help="write LEF/DEF/guide files")
+    p_dump.add_argument("-b", "--bench", required=True)
+    p_dump.add_argument("-o", "--out", default=".")
+
+    p_show = sub.add_parser("show", help="ASCII congestion map + SVG plot")
+    p_show.add_argument("-b", "--bench", required=True)
+    p_show.add_argument("--svg", help="write an SVG die plot to this path")
+    p_show.add_argument(
+        "--crp", type=int, default=0, metavar="K",
+        help="run K CR&P iterations before rendering",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "table2":
+        return _cmd_table2()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "dump":
+        return _cmd_dump(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    return 2
+
+
+def _cmd_table2() -> int:
+    from repro.benchgen import suite_table
+
+    header = f"{'circuit':<16}{'#nets':>8}{'#cells':>8}  node    (paper: nets/cells)"
+    print(header)
+    print("-" * len(header))
+    for row in suite_table():
+        print(
+            f"{row['circuit']:<16}{row['nets']:>8}{row['cells']:>8}"
+            f"  {row['tech_node']:<6}  ({row['paper_nets']}/{row['paper_cells']})"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.benchgen import make_design
+    from repro.flow import run_flow
+
+    design = make_design(args.bench)
+    result = run_flow(
+        design,
+        mode=args.mode,
+        crp_iterations=args.iterations,
+        skip_detailed=args.skip_detailed,
+    )
+    print(result.summary())
+    if result.quality:
+        print(
+            f"  score={result.quality.score:.1f} "
+            f"drvs={result.quality.drv_breakdown}"
+        )
+    print(f"  runtime: {({k: round(v, 2) for k, v in result.runtime.items()})}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.benchgen import make_design
+    from repro.flow import run_flow
+
+    modes: list[tuple[str, int]] = [("baseline", 0), ("fontana", 0), ("crp", 1)]
+    if args.k10:
+        modes.append(("crp", 10))
+    for bench in args.bench:
+        rows = {}
+        for mode, k in modes:
+            design = make_design(bench)
+            result = run_flow(design, mode=mode, crp_iterations=max(k, 1))
+            rows[(mode, k)] = result
+        base = rows[("baseline", 0)].quality
+        print(f"== {bench} ==")
+        for (mode, k), result in rows.items():
+            if result.failed or result.quality is None:
+                print(f"  {mode:<10} FAILED")
+                continue
+            imp = result.quality.improvement_over(base)
+            label = f"{mode}{f' k={k}' if k else ''}"
+            print(
+                f"  {label:<12} wl={result.quality.wirelength_dbu:>10} "
+                f"({imp['wirelength']:+.2f}%) vias={result.quality.vias:>7} "
+                f"({imp['vias']:+.2f}%) drvs={result.quality.drvs}"
+            )
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    from repro.benchgen import SUITE, make_design
+    from repro.groute import GlobalRouter
+    from repro.lefdef import write_def, write_guides, write_lef
+
+    design = make_design(args.bench)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{args.bench}.lef").write_text(write_lef(design.tech))
+    (out / f"{args.bench}.def").write_text(write_def(design))
+    router = GlobalRouter(design)
+    router.route_all()
+    (out / f"{args.bench}.guide").write_text(
+        write_guides(router.guides(), design.tech)
+    )
+    print(f"wrote {args.bench}.lef/.def/.guide to {out}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.benchgen import make_design
+    from repro.core import CrpConfig, CrpFramework
+    from repro.groute import GlobalRouter
+    from repro.viz import congestion_heatmap, layer_usage_table, svg_die_plot
+
+    design = make_design(args.bench)
+    router = GlobalRouter(design)
+    router.route_all()
+    if args.crp > 0:
+        CrpFramework(design, router, CrpConfig(seed=0)).run(args.crp)
+    print(f"{args.bench}: wl={router.total_wirelength_dbu()} "
+          f"vias={router.total_vias()} overflow={router.total_overflow():.1f}")
+    print()
+    print(congestion_heatmap(router))
+    print()
+    print(layer_usage_table(router))
+    if args.svg:
+        nets = sorted(design.nets)[:20]
+        Path(args.svg).write_text(svg_die_plot(design, router, nets=nets))
+        print(f"\nwrote {args.svg}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: the CR&P framework (Section IV).
+
+Five steps per iteration, between global and detailed routing:
+
+1. **Label Critical Cells** (Algorithm 1) — rank cells by the Eq. 10
+   cost of their nets' global routes; accept with a simulated-annealing
+   probability damped by selection/move history.
+2. **Generate Candidate Positions** (Algorithm 2) — the ILP-based window
+   legalizer proposes legalized positions for each critical cell plus
+   compensating moves for displaced neighbours.
+3. **Candidate Cost Estimation** (Algorithm 3) — each candidate is
+   scored by FLUTE + 3D pattern routing of the cell's nets.
+4. **Select** (Eq. 12) — an ILP picks one candidate per cell minimizing
+   total estimated route cost, with mutual-exclusion constraints between
+   spatially conflicting candidates.
+5. **Update Database** — cells move, dirty nets are ripped up and
+   rerouted, congestion maps refresh.
+"""
+
+from repro.core.config import CrpConfig
+from repro.core.labeling import label_critical_cells
+from repro.core.candidates import MoveCandidate, generate_candidates
+from repro.core.estimate import estimate_candidate_cost
+from repro.core.select import select_moves
+from repro.core.update import apply_moves
+from repro.core.crp import CrpFramework, CrpResult, IterationStats
+
+__all__ = [
+    "CrpConfig",
+    "label_critical_cells",
+    "MoveCandidate",
+    "generate_candidates",
+    "estimate_candidate_cost",
+    "select_moves",
+    "apply_moves",
+    "CrpFramework",
+    "CrpResult",
+    "IterationStats",
+]

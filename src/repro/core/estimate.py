@@ -1,0 +1,124 @@
+"""Step 3: Candidate Position Cost Estimation (Algorithm 3).
+
+For every candidate position of a critical cell, the cell's nets are
+re-planned *virtually*: terminal positions are recomputed with the cell
+(and its conflict cells) at the candidate location, decomposed by FLUTE,
+and priced by the 3D pattern router under the current demand state —
+without committing anything to the routing graph.  Per the paper, only
+one cell per net moves in an iteration, so the other terminals stay
+where the committed routes put them.
+"""
+
+from __future__ import annotations
+
+from repro.geom import Orientation, Point
+from repro.db import Design, Net
+from repro.flute import build_rsmt
+from repro.groute import GlobalRouter
+from repro.groute.patterns import pattern_paths_2d
+from repro.core.candidates import MoveCandidate
+
+Node = tuple[int, int, int]
+
+
+def estimate_candidate_cost(
+    design: Design,
+    router: GlobalRouter,
+    candidate: MoveCandidate,
+    include_conflicts: bool = False,
+) -> float:
+    """Eq. 10 route cost of the candidate's cell nets (Algorithm 3).
+
+    ``include_conflicts`` extends the estimate to the conflict cells'
+    nets as well; the paper's Algorithm 3 prices only the critical
+    cell's own nets (the legalizer already minimized the conflict
+    displacement), so the default stays faithful.
+    """
+    overrides: dict[str, tuple[int, int, Orientation]] = {
+        candidate.cell: candidate.position
+    }
+    if candidate.conflict_moves:
+        overrides.update(candidate.conflict_moves)
+
+    nets = list(design.nets_of_cell(candidate.cell))
+    if include_conflicts:
+        seen = {net.name for net in nets}
+        for conflict_cell in candidate.conflict_moves:
+            for net in design.nets_of_cell(conflict_cell):
+                if net.name not in seen:
+                    seen.add(net.name)
+                    nets.append(net)
+
+    total = 0.0
+    for net in nets:
+        total += estimate_net_cost(design, router, net, overrides)
+    return total
+
+
+def estimate_net_cost(
+    design: Design,
+    router: GlobalRouter,
+    net: Net,
+    overrides: dict[str, tuple[int, int, Orientation]],
+) -> float:
+    """Virtual FLUTE + 3D-pattern-route cost of one net (uncommitted)."""
+    terminals = _terminals_with_overrides(design, router, net, overrides)
+    if len(terminals) < 2:
+        return 0.0
+    points = [Point(t[1], t[2]) for t in terminals]
+    tree = build_rsmt(points)
+    layer_at: dict[tuple[int, int], int] = {}
+    for layer, gx, gy in terminals:
+        layer_at.setdefault((gx, gy), layer)
+
+    total = 0.0
+    for a, b in tree.edges:
+        pa, pb = tree.points[a], tree.points[b]
+        src_layer = layer_at.get((pa.x, pa.y))
+        dst_layer = layer_at.get((pb.x, pb.y))
+        best = None
+        for path in pattern_paths_2d((pa.x, pa.y), (pb.x, pb.y)):
+            result = router.pattern3d.route(
+                path,
+                src_layer if src_layer is not None else router.graph.min_wire_layer,
+                dst_layer,
+            )
+            if result is None:
+                continue
+            if best is None or result.cost < best:
+                best = result.cost
+        if best is not None:
+            total += best
+    return total
+
+
+def _terminals_with_overrides(
+    design: Design,
+    router: GlobalRouter,
+    net: Net,
+    overrides: dict[str, tuple[int, int, Orientation]],
+) -> list[Node]:
+    """Distinct terminal nodes with some cells virtually relocated."""
+    nodes: list[Node] = []
+    seen: set[Node] = set()
+    for pin in net.pins:
+        if pin.cell is not None and pin.cell in overrides:
+            cell = design.cells[pin.cell]
+            x, y, orient = overrides[pin.cell]
+            macro_pin = cell.macro.pin(pin.pin)
+            shapes = macro_pin.placed_shapes(
+                x, y, orient, cell.macro.width, cell.macro.height
+            )
+            from repro.geom import Rect
+
+            point = Rect.bounding([s.rect for s in shapes]).center
+            layer = min(s.layer for s in shapes) if shapes else 0
+        else:
+            point = design.pin_point(pin)
+            layer = design.pin_layer(pin)
+        gx, gy = router.grid.gcell_of(point)
+        node = (layer, gx, gy)
+        if node not in seen:
+            seen.add(node)
+            nodes.append(node)
+    return nodes

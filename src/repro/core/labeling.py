@@ -1,0 +1,54 @@
+"""Step 1: Label Critical Cells (Algorithm 1).
+
+Cells are sorted by the Eq. 10 cost of their nets' current global
+routes, so cells sitting on expensive (congested, via-heavy) routes come
+first.  A cell is skipped when a connected cell is already critical
+(moving both endpoints of a net in one iteration would invalidate the
+cost estimates).  Cells that were selected or moved in earlier
+iterations are damped by the simulated-annealing acceptance test
+``exp(-(hist_c + hist_m) / T) > random()``, which keeps the framework
+from hammering the same congested neighbourhood every iteration.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.db import Design
+from repro.groute import GlobalRouter
+from repro.core.config import CrpConfig
+
+
+def label_critical_cells(
+    design: Design,
+    router: GlobalRouter,
+    config: CrpConfig,
+    rng: random.Random,
+) -> list[str]:
+    """Select this iteration's critical cells (Algorithm 1)."""
+    movable = [c.name for c in design.cells.values() if not c.fixed]
+    if config.prioritize:
+        cost_of = {name: router.cell_cost(name) for name in movable}
+        movable.sort(key=lambda name: (-cost_of[name], name))
+    limit = min(
+        config.max_critical_cells,
+        int(config.gamma * len(movable)),
+    )
+
+    critical: list[str] = []
+    critical_set: set[str] = set()
+    for name in movable:
+        if len(critical) >= limit:
+            break
+        connected = design.connected_cells(name)
+        if connected & critical_set:
+            continue
+        hist_c = 1 if name in design.critical_history else 0
+        hist_m = 1 if name in design.moved_history else 0
+        acceptance = math.exp(-(hist_c + hist_m) / config.temperature)
+        if acceptance > rng.random():
+            critical.append(name)
+            critical_set.add(name)
+    design.critical_history.update(critical)
+    return critical

@@ -1,0 +1,113 @@
+"""Step 4: Find the Best Candidates by ILP (Eq. 12).
+
+One binary variable per (cell, candidate); exactly one candidate per
+cell (Eq. 3); the objective is the summed Algorithm-3 route cost
+(Eq. 12).  Candidates of *different* cells whose footprints (the moved
+cell plus its conflict relocations) overlap get a mutual-exclusion
+constraint so the combined move set stays legal — the per-cell window
+legalizer guarantees legality per candidate, the ILP guarantees it
+across cells.
+"""
+
+from __future__ import annotations
+
+from repro.geom import Rect
+from repro.db import Design
+from repro.ilp import IlpModel, Sense, solve
+from repro.core.candidates import MoveCandidate
+
+
+def select_moves(
+    design: Design,
+    candidates: dict[str, list[MoveCandidate]],
+    backend: str = "auto",
+) -> dict[str, MoveCandidate]:
+    """Pick one candidate per critical cell minimizing total cost."""
+    model = IlpModel("crp-select")
+    var_of: dict[tuple[str, int], int] = {}
+    for cell_name, cell_candidates in candidates.items():
+        indices: list[int] = []
+        for i, candidate in enumerate(cell_candidates):
+            cost = candidate.route_cost
+            if cost == float("inf"):
+                cost = 1e9
+            var = model.add_binary(f"y[{cell_name}][{i}]", cost=cost)
+            var_of[(cell_name, i)] = var
+            indices.append(var)
+        model.add_exactly_one(indices, name=f"one[{cell_name}]")
+
+    _add_conflict_constraints(design, candidates, model, var_of)
+
+    solution = solve(model, backend=backend)
+    chosen: dict[str, MoveCandidate] = {}
+    if not solution.ok:
+        # Infeasibility cannot happen (keep-current is always available
+        # and mutually compatible), but fail safe: keep everything put.
+        for cell_name, cell_candidates in candidates.items():
+            chosen[cell_name] = cell_candidates[0]
+        return chosen
+    for (cell_name, i), var in var_of.items():
+        if solution.values[model.variables[var].name] > 0.5:
+            chosen[cell_name] = candidates[cell_name][i]
+    return chosen
+
+
+def _candidate_footprint(
+    design: Design, candidate: MoveCandidate
+) -> list[Rect]:
+    """Outlines this candidate writes: the cell plus conflict cells."""
+    rects: list[Rect] = []
+    moves = {candidate.cell: candidate.position}
+    moves.update(candidate.conflict_moves)
+    for name, (x, y, _) in moves.items():
+        cell = design.cells[name]
+        rects.append(Rect(x, y, x + cell.width, y + cell.height))
+    return rects
+
+
+def _add_conflict_constraints(
+    design: Design,
+    candidates: dict[str, list[MoveCandidate]],
+    model: IlpModel,
+    var_of: dict[tuple[str, int], int],
+) -> None:
+    """Mutual exclusion between overlapping candidates of distinct cells.
+
+    Also excludes pairs that relocate the *same* conflict cell to
+    different places, and pairs where one candidate's footprint covers a
+    cell another candidate assumes stays put.
+    """
+    entries: list[tuple[str, int, MoveCandidate, list[Rect], set[str]]] = []
+    for cell_name, cell_candidates in candidates.items():
+        for i, candidate in enumerate(cell_candidates):
+            if candidate.is_current:
+                continue
+            touched = {candidate.cell} | set(candidate.conflict_moves)
+            entries.append(
+                (
+                    cell_name,
+                    i,
+                    candidate,
+                    _candidate_footprint(design, candidate),
+                    touched,
+                )
+            )
+    for a in range(len(entries)):
+        name_a, i_a, cand_a, rects_a, touched_a = entries[a]
+        for b in range(a + 1, len(entries)):
+            name_b, i_b, cand_b, rects_b, touched_b = entries[b]
+            if name_a == name_b:
+                continue
+            incompatible = bool(touched_a & touched_b) or any(
+                ra.intersects(rb) for ra in rects_a for rb in rects_b
+            )
+            if incompatible:
+                model.add_constraint(
+                    [
+                        (var_of[(name_a, i_a)], 1.0),
+                        (var_of[(name_b, i_b)], 1.0),
+                    ],
+                    Sense.LE,
+                    1.0,
+                    name=f"excl[{name_a}:{i_a}][{name_b}:{i_b}]",
+                )

@@ -1,0 +1,21 @@
+"""The design database: cells, nets, rows, blockages, spatial queries."""
+
+from repro.db.cell import Cell
+from repro.db.net import IOPin, Net, NetPin
+from repro.db.row import Row
+from repro.db.design import Blockage, Design
+from repro.db.spatial import SpatialIndex
+from repro.db.legality import LegalityReport, check_legality
+
+__all__ = [
+    "Cell",
+    "Net",
+    "NetPin",
+    "IOPin",
+    "Row",
+    "Design",
+    "Blockage",
+    "SpatialIndex",
+    "LegalityReport",
+    "check_legality",
+]

@@ -1,0 +1,18 @@
+"""Guide-honoring track-based detailed routing (TritonRoute stand-in).
+
+Routes every net on the real track lattice inside its global-routing
+guides, inserts vias, and reports the ISPD-2018 quality metrics: exact
+wirelength, via count, and DRVs (shorts, min-area, opens).
+"""
+
+from repro.droute.lattice import TrackLattice
+from repro.droute.router import DetailedRouter, DetailedResult
+from repro.droute.drc import DrcViolation, DrcKind
+
+__all__ = [
+    "TrackLattice",
+    "DetailedRouter",
+    "DetailedResult",
+    "DrcViolation",
+    "DrcKind",
+]

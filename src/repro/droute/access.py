@@ -1,0 +1,31 @@
+"""Pin access-point selection.
+
+Each net terminal is mapped to one or more lattice nodes the router may
+start or finish on: the track crossings covered by the pin's physical
+shapes, falling back to the crossing nearest the pin center when the pin
+is too small to cover any crossing exactly.
+"""
+
+from __future__ import annotations
+
+from repro.db import Design, NetPin
+from repro.droute.lattice import LNode, TrackLattice
+
+
+def access_nodes(design: Design, lattice: TrackLattice, pin: NetPin) -> list[LNode]:
+    """Candidate lattice nodes for one net terminal."""
+    if pin.cell is None:
+        io = design.iopins[pin.pin]
+        nodes = lattice.nodes_in_rect(io.layer, io.rect)
+        if nodes:
+            return nodes
+        return [lattice.node_at(io.layer, io.point)]
+    cell = design.cells[pin.cell]
+    nodes: list[LNode] = []
+    for shape in cell.pin_shapes(pin.pin):
+        nodes.extend(lattice.nodes_in_rect(shape.layer, shape.rect))
+    if nodes:
+        return sorted(set(nodes))
+    point = cell.pin_position(pin.pin)
+    layer = design.pin_layer(pin)
+    return [lattice.node_at(layer, point)]

@@ -1,0 +1,504 @@
+"""The detailed-routing driver.
+
+Consumes a design plus per-net route guides (from the global router) and
+produces exact routed geometry on the track lattice with the ISPD-2018
+quality numbers: wirelength, via count, and DRVs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.db import Design, Net
+from repro.droute.access import access_nodes
+from repro.droute.astar import SearchParams, astar_connect
+from repro.droute.drc import DrcKind, DrcViolation, check_min_area, check_shorts
+from repro.droute.lattice import LNode, TrackLattice
+from repro.droute.obstacles import BLOCKED, build_obstacle_map
+from repro.lefdef.guides import GuideRect
+
+
+@dataclass(slots=True)
+class DetailedResult:
+    """Routed geometry and quality metrics of one detailed-routing run."""
+
+    wirelength_dbu: int = 0
+    vias: int = 0
+    violations: list[DrcViolation] = field(default_factory=list)
+    runtime_s: float = 0.0
+    paths: dict[str, list[list[LNode]]] = field(default_factory=dict)
+
+    @property
+    def num_drvs(self) -> int:
+        return len(self.violations)
+
+    def drv_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for v in self.violations:
+            counts[v.kind.value] += 1
+        return dict(counts)
+
+    def summary(self) -> str:
+        return (
+            f"wl={self.wirelength_dbu} vias={self.vias} "
+            f"drvs={self.num_drvs} ({self.drv_counts()})"
+        )
+
+
+class DetailedRouter:
+    """Guide-honoring sequential detailed router."""
+
+    def __init__(
+        self,
+        design: Design,
+        params: SearchParams | None = None,
+        guide_margin_tracks: int = 2,
+        drc_rounds: int = 2,
+    ) -> None:
+        self.design = design
+        self.lattice = TrackLattice(design.tech, design.die)
+        self.params = params or SearchParams(
+            via_cost=4 * self.lattice.pitch,
+            conflict_penalty=100 * self.lattice.pitch,
+            off_guide_penalty=10 * self.lattice.pitch,
+        )
+        self.guide_margin = guide_margin_tracks
+        #: conflict-driven rip-up-and-reroute rounds after the first pass
+        self.drc_rounds = drc_rounds
+
+    # ------------------------------------------------------------------ API
+
+    def route_all(
+        self, guides: dict[str, list[GuideRect]] | None = None
+    ) -> DetailedResult:
+        """Route every net; ``guides`` come from the global router."""
+        start = time.perf_counter()
+        owner, reservations = build_obstacle_map(self.design, self.lattice)
+        occupancy: dict[LNode, str] = {}
+        conflicts: dict[LNode, tuple[str, str]] = {}
+        net_nodes: dict[str, set[LNode]] = {}
+        pin_nodes: dict[str, set[LNode]] = {}
+        result = DetailedResult()
+
+        patch_counts: dict[str, int] = {}
+
+        order = sorted(
+            self.design.nets.values(),
+            key=lambda n: (self.design.net_hpwl(n), n.name),
+        )
+        for net in order:
+            self._route_net(
+                net,
+                guides.get(net.name) if guides is not None else None,
+                owner,
+                occupancy,
+                conflicts,
+                net_nodes,
+                pin_nodes,
+                patch_counts,
+                result,
+            )
+            # Release this net's unused escape reservations: once routed,
+            # later nets may pass over its pins' spare landings.
+            used = net_nodes.get(net.name, set())
+            for node in reservations.pop(net.name, ()):
+                if node not in used and owner.get(node) == net.name:
+                    del owner[node]
+
+        # Conflict-driven rip-up-and-reroute: every net involved in a
+        # short is ripped (both aggressor and victim) and rerouted with a
+        # clean slate — the detailed-routing analogue of the global
+        # router's RRR passes.
+        for _ in range(self.drc_rounds):
+            ripped: set[str] = set()
+            for net_a, net_b in conflicts.values():
+                ripped.add(net_a)
+                ripped.add(net_b)
+            if not ripped:
+                break
+            for name in ripped:
+                for node in net_nodes.pop(name, ()):
+                    if occupancy.get(node) == name:
+                        del occupancy[node]
+                result.paths.pop(name, None)
+                patch_counts.pop(name, None)
+            conflicts = {
+                node: pair
+                for node, pair in conflicts.items()
+                if pair[0] not in ripped and pair[1] not in ripped
+            }
+            result.violations = [
+                v
+                for v in result.violations
+                if not (v.kind is DrcKind.OPEN and v.net_a in ripped)
+            ]
+            for name in sorted(
+                ripped,
+                key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n),
+            ):
+                self._route_net(
+                    self.design.nets[name],
+                    guides.get(name) if guides is not None else None,
+                    owner,
+                    occupancy,
+                    conflicts,
+                    net_nodes,
+                    pin_nodes,
+                    patch_counts,
+                    result,
+                )
+
+        self._tally(result, patch_counts)
+        result.violations.extend(check_shorts(conflicts))
+        result.violations.extend(
+            check_min_area(self.lattice, net_nodes, pin_nodes)
+        )
+        result.runtime_s = time.perf_counter() - start
+        return result
+
+    def _tally(self, result: DetailedResult, patch_counts: dict[str, int]) -> None:
+        """Compute wirelength and via totals from the final geometry."""
+        pitch = self.lattice.pitch
+        wirelength = 0
+        vias = 0
+        for paths in result.paths.values():
+            for path in paths:
+                for a, b in zip(path[:-1], path[1:]):
+                    if a[0] == b[0]:
+                        wirelength += pitch
+                    else:
+                        vias += 1
+        wirelength += pitch * sum(patch_counts.values())
+        result.wirelength_dbu = wirelength
+        result.vias = vias
+
+    # -------------------------------------------------------------- per-net
+
+    def _route_net(
+        self,
+        net: Net,
+        net_guides: list[GuideRect] | None,
+        owner: dict[LNode, str],
+        occupancy: dict[LNode, str],
+        conflicts: dict[LNode, tuple[str, str]],
+        net_nodes: dict[str, set[LNode]],
+        pin_nodes: dict[str, set[LNode]],
+        patch_counts: dict[str, int],
+        result: DetailedResult,
+    ) -> None:
+        lattice = self.lattice
+        terminal_access: list[list[LNode]] = []
+        for pin in net.pins:
+            nodes = access_nodes(self.design, lattice, pin)
+            terminal_access.append(nodes)
+        pin_nodes[net.name] = {n for nodes in terminal_access for n in nodes}
+
+        guide_nodes, bounds = self._guide_region(net_guides, terminal_access)
+
+        connected: set[LNode] = set(terminal_access[0])
+        used: set[LNode] = set(terminal_access[0])
+        paths: list[list[LNode]] = []
+
+        for nodes in terminal_access[1:]:
+            targets = set(nodes)
+            if targets & connected:
+                connected |= targets
+                used |= targets
+                continue
+            search = self._fast_pattern(
+                net.name, connected, targets, owner, occupancy, guide_nodes
+            )
+            if search is None:
+                search = astar_connect(
+                    lattice,
+                    connected,
+                    targets,
+                    net.name,
+                    owner,
+                    occupancy,
+                    bounds,
+                    guide_nodes,
+                    self.params,
+                    soft=False,
+                )
+            if search is None:
+                search = astar_connect(
+                    lattice,
+                    connected,
+                    targets,
+                    net.name,
+                    owner,
+                    occupancy,
+                    bounds,
+                    None,
+                    self.params,
+                    soft=True,
+                )
+            if search is None:
+                result.violations.append(
+                    DrcViolation(
+                        kind=DrcKind.OPEN,
+                        layer=nodes[0][0],
+                        net_a=net.name,
+                        node=nodes[0],
+                    )
+                )
+                continue
+            paths.append(search.path)
+            for node in search.path:
+                connected.add(node)
+                used.add(node)
+            for node in search.conflicts:
+                holder = owner.get(node) or occupancy.get(node)
+                if holder and holder not in (net.name, BLOCKED):
+                    conflicts[node] = (net.name, holder)
+            connected |= targets
+
+        patch_counts[net.name] = self._patch_min_area(
+            net.name, used, pin_nodes[net.name], owner, occupancy
+        )
+        for node in used:
+            occupancy.setdefault(node, net.name)
+        net_nodes[net.name] = used
+        result.paths[net.name] = paths
+
+    def _patch_min_area(
+        self,
+        net_name: str,
+        used: set[LNode],
+        pins: set[LNode],
+        owner: dict[LNode, str],
+        occupancy: dict[LNode, str],
+    ) -> int:
+        """Grow under-sized metal patches along the preferred direction.
+
+        Real detailed routers insert metal patches where via stacks leave
+        isolated landing pads below the minimum-area rule; this models
+        that by claiming free adjacent track nodes and charging their
+        wirelength.  Patches that cannot grow are left for the DRC pass
+        to flag.
+        """
+        lattice = self.lattice
+        pitch = lattice.pitch
+        patched = 0
+        per_layer: dict[int, set[tuple[int, int]]] = defaultdict(set)
+        for layer, ix, iy in used:
+            per_layer[layer].add((ix, iy))
+        for layer, points in per_layer.items():
+            tech_layer = lattice.tech.layers[layer]
+            if tech_layer.min_area <= 0:
+                continue
+            min_nodes = 1 + max(
+                0,
+                -(-(tech_layer.min_area - tech_layer.width**2)
+                  // (pitch * tech_layer.width)),
+            )
+            remaining = set(points)
+            while remaining:
+                seed = remaining.pop()
+                component = {seed}
+                stack = [seed]
+                while stack:
+                    ix, iy = stack.pop()
+                    for nxt in ((ix + 1, iy), (ix - 1, iy), (ix, iy + 1), (ix, iy - 1)):
+                        if nxt in remaining:
+                            remaining.remove(nxt)
+                            component.add(nxt)
+                            stack.append(nxt)
+                if len(component) >= min_nodes:
+                    continue
+                if any((layer, ix, iy) in pins for ix, iy in component):
+                    continue
+                frontier = sorted(component)
+                while len(component) < min_nodes and frontier:
+                    ix, iy = frontier.pop(0)
+                    grown = False
+                    here = (layer, ix, iy)
+                    for node in lattice.wire_neighbors(here) + lattice.jog_neighbors(here):
+                        key = (node[1], node[2])
+                        if key in component:
+                            continue
+                        holder = owner.get(node) or occupancy.get(node)
+                        if holder is not None and holder != net_name:
+                            continue
+                        component.add(key)
+                        used.add(node)
+                        frontier.append(key)
+                        patched += 1
+                        grown = True
+                        break
+                    if grown:
+                        frontier.insert(0, (ix, iy))
+        return patched
+
+    # ------------------------------------------------------------ fast path
+
+    def _fast_pattern(
+        self,
+        net: str,
+        sources: set[LNode],
+        targets: set[LNode],
+        owner: dict[LNode, str],
+        occupancy: dict[LNode, str],
+        guide_nodes: set[LNode] | None,
+    ) -> "SearchResult | None":
+        """Try clean L-shaped connections before falling back to A*.
+
+        Picks the closest (source, target) pair, then tries both bend
+        orders over the two nearest horizontal/vertical layer choices.
+        A candidate is accepted only when every node on it is free for
+        this net and inside the guides — so the result is always one
+        the hard A* pass could also have found.
+        """
+        from repro.droute.astar import SearchResult
+
+        lattice = self.lattice
+        src, dst = min(
+            ((s, t) for s in sources for t in targets)
+            if len(sources) * len(targets) <= 64
+            else [(next(iter(sources)), next(iter(targets)))],
+            key=lambda pair: (
+                abs(pair[0][1] - pair[1][1])
+                + abs(pair[0][2] - pair[1][2])
+                + abs(pair[0][0] - pair[1][0])
+            ),
+        )
+        layers = lattice.tech.layers
+        min_wire = lattice.min_wire_layer
+        h_layers = [
+            l.index for l in layers if l.is_horizontal and l.index >= min_wire
+        ][:3]
+        v_layers = [
+            l.index for l in layers if l.is_vertical and l.index >= min_wire
+        ][:3]
+
+        def free(node: LNode) -> bool:
+            holder = owner.get(node)
+            if holder is not None and holder != net:
+                return False
+            holder = occupancy.get(node)
+            if holder is not None and holder != net:
+                return False
+            if guide_nodes is not None and node not in guide_nodes:
+                return False
+            return True
+
+        def stack(ix: int, iy: int, l0: int, l1: int) -> list[LNode]:
+            step = 1 if l1 >= l0 else -1
+            return [(l, ix, iy) for l in range(l0, l1 + step, step)]
+
+        def run(layer: int, fixed: int, a: int, b: int, horizontal: bool) -> list[LNode]:
+            step = 1 if b >= a else -1
+            if horizontal:
+                return [(layer, v, fixed) for v in range(a, b + step, step)]
+            return [(layer, fixed, v) for v in range(a, b + step, step)]
+
+        (sl, sx, sy), (tl, tx, ty) = src, dst
+        candidates: list[list[LNode]] = []
+        for h in h_layers[:2]:
+            for v in v_layers[:2]:
+                # horizontal first: src -> (tx, sy) on h, then vertical on v
+                path = (
+                    stack(sx, sy, sl, h)
+                    + run(h, sy, sx, tx, True)[1:]
+                    + stack(tx, sy, h, v)[1:]
+                    + run(v, tx, sy, ty, False)[1:]
+                    + stack(tx, ty, v, tl)[1:]
+                )
+                candidates.append(path)
+                # vertical first
+                path = (
+                    stack(sx, sy, sl, v)
+                    + run(v, sx, sy, ty, False)[1:]
+                    + stack(sx, ty, v, h)[1:]
+                    + run(h, ty, sx, tx, True)[1:]
+                    + stack(tx, ty, h, tl)[1:]
+                )
+                candidates.append(path)
+
+        best: list[LNode] | None = None
+        best_cost = float("inf")
+        for path in candidates:
+            # Deduplicate consecutive repeats (degenerate runs/stacks).
+            clean: list[LNode] = []
+            for node in path:
+                if not clean or node != clean[-1]:
+                    clean.append(node)
+            cost = 0.0
+            ok = True
+            for i, node in enumerate(clean):
+                if i and not free(node):
+                    ok = False
+                    break
+                if i:
+                    cost += (
+                        lattice.pitch
+                        if node[0] == clean[i - 1][0]
+                        else self.params.via_cost
+                    )
+            if ok and cost < best_cost:
+                best = clean
+                best_cost = cost
+        if best is None:
+            return None
+        return SearchResult(path=best, cost=best_cost, conflicts=[])
+
+    # --------------------------------------------------------------- guides
+
+    def _guide_region(
+        self,
+        net_guides: list[GuideRect] | None,
+        terminal_access: list[list[LNode]],
+    ):
+        """Guide membership test + search bounds for one net."""
+        lattice = self.lattice
+        margin = self.guide_margin
+        all_nodes = [n for nodes in terminal_access for n in nodes]
+        ix_vals = [n[1] for n in all_nodes]
+        iy_vals = [n[2] for n in all_nodes]
+
+        if net_guides is None:
+            slack = 12
+            bounds = (
+                max(0, min(ix_vals) - slack),
+                max(0, min(iy_vals) - slack),
+                min(lattice.nx - 1, max(ix_vals) + slack),
+                min(lattice.ny - 1, max(iy_vals) + slack),
+            )
+            return None, bounds
+
+        per_layer: dict[int, list[tuple[int, int, int, int]]] = defaultdict(list)
+        g_ix0, g_iy0 = lattice.nx - 1, lattice.ny - 1
+        g_ix1, g_iy1 = 0, 0
+        for guide in net_guides:
+            ix0, iy0, ix1, iy1 = lattice.index_rect(guide.rect)
+            ix0 = max(0, ix0 - margin)
+            iy0 = max(0, iy0 - margin)
+            ix1 = min(lattice.nx - 1, ix1 + margin)
+            iy1 = min(lattice.ny - 1, iy1 + margin)
+            per_layer[guide.layer].append((ix0, iy0, ix1, iy1))
+            g_ix0 = min(g_ix0, ix0)
+            g_iy0 = min(g_iy0, iy0)
+            g_ix1 = max(g_ix1, ix1)
+            g_iy1 = max(g_iy1, iy1)
+        g_ix0 = min(g_ix0, max(0, min(ix_vals) - margin))
+        g_iy0 = min(g_iy0, max(0, min(iy_vals) - margin))
+        g_ix1 = max(g_ix1, min(lattice.nx - 1, max(ix_vals) + margin))
+        g_iy1 = max(g_iy1, min(lattice.ny - 1, max(iy_vals) + margin))
+
+        guide_nodes: set[LNode] = set()
+        for layer, spans in per_layer.items():
+            for ix0, iy0, ix1, iy1 in spans:
+                for ix in range(ix0, ix1 + 1):
+                    for iy in range(iy0, iy1 + 1):
+                        guide_nodes.add((layer, ix, iy))
+        # Terminals and their escape landings are always fair game.
+        for nodes in terminal_access:
+            for layer, ix, iy in nodes:
+                guide_nodes.add((layer, ix, iy))
+                if layer + 1 < lattice.tech.num_layers:
+                    guide_nodes.add((layer + 1, ix, iy))
+
+        return guide_nodes, (g_ix0, g_iy0, g_ix1, g_iy1)

@@ -1,0 +1,5 @@
+"""ISPD-2018-style quality evaluation (the contest's official metrics)."""
+
+from repro.evalmetrics.scorer import EvalWeights, QualityScore, evaluate
+
+__all__ = ["EvalWeights", "QualityScore", "evaluate"]

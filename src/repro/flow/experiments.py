@@ -1,0 +1,100 @@
+"""Programmatic regeneration of the paper's evaluation artifacts.
+
+The ``benchmarks/`` tree prints human-readable tables; this module is
+the library-level API behind the same experiments, so downstream users
+(and the CLI) can run a Table III row or a Fig. 3 breakdown and get
+structured data back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchgen import make_design
+from repro.core import CrpConfig
+from repro.flow.pipeline import FlowResult, run_flow
+from repro.flow.runtime import runtime_breakdown_pct
+
+
+@dataclass(slots=True)
+class Table3Row:
+    """One benchmark's Table III entries."""
+
+    design: str
+    baseline: FlowResult
+    fontana: FlowResult
+    crp_k1: FlowResult
+    crp_k10: FlowResult
+
+    def improvements(self) -> dict[str, dict[str, float] | None]:
+        """Percentage improvements vs the baseline per contender."""
+        out: dict[str, dict[str, float] | None] = {}
+        base = self.baseline.quality
+        for label, result in (
+            ("fontana", self.fontana),
+            ("crp_k1", self.crp_k1),
+            ("crp_k10", self.crp_k10),
+        ):
+            if result.failed or result.quality is None or base is None:
+                out[label] = None
+            else:
+                out[label] = result.quality.improvement_over(base)
+        return out
+
+
+def table3_row(
+    design_name: str,
+    k10: int = 10,
+    baseline_budget_s: float | None = 600.0,
+    seed: int = 0,
+) -> Table3Row:
+    """Run the four Table III flows on one benchmark."""
+    return Table3Row(
+        design=design_name,
+        baseline=run_flow(make_design(design_name), mode="baseline"),
+        fontana=run_flow(
+            make_design(design_name),
+            mode="fontana",
+            baseline_budget_s=baseline_budget_s,
+        ),
+        crp_k1=run_flow(
+            make_design(design_name),
+            mode="crp",
+            crp_iterations=1,
+            config=CrpConfig(seed=seed),
+        ),
+        crp_k10=run_flow(
+            make_design(design_name),
+            mode="crp",
+            crp_iterations=k10,
+            config=CrpConfig(seed=seed),
+        ),
+    )
+
+
+@dataclass(slots=True)
+class RuntimeComparison:
+    """Fig. 2 data for one benchmark."""
+
+    design: str
+    seconds: dict[str, float | None] = field(default_factory=dict)
+
+
+def fig2_runtimes(row: Table3Row) -> RuntimeComparison:
+    """Extract the Fig. 2 runtime comparison from a Table III row."""
+    comparison = RuntimeComparison(design=row.design)
+    for label, result in (
+        ("baseline", row.baseline),
+        ("fontana", row.fontana),
+        ("crp_k1", row.crp_k1),
+        ("crp_k10", row.crp_k10),
+    ):
+        comparison.seconds[label] = (
+            None if result.failed else result.total_runtime
+        )
+    return comparison
+
+
+def fig3_breakdown(row: Table3Row) -> dict[str, float]:
+    """Extract the Fig. 3 percentage breakdown from the k=10 flow."""
+    return runtime_breakdown_pct(row.crp_k10)

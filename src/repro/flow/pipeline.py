@@ -1,0 +1,109 @@
+"""Flow orchestration: GR -> (CR&P | [18] | nothing) -> DR -> evaluate."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.db import Design, check_legality
+from repro.groute import GlobalRouter
+from repro.droute import DetailedRouter
+from repro.evalmetrics import QualityScore, evaluate
+from repro.core import CrpConfig, CrpFramework, CrpResult
+from repro.baseline import FontanaBaseline, FontanaResult
+
+
+@dataclass(slots=True)
+class FlowResult:
+    """Everything one flow run produces."""
+
+    design: str
+    mode: str
+    crp_iterations: int = 0
+    gr_wirelength_dbu: int = 0
+    gr_vias: int = 0
+    gr_overflow: float = 0.0
+    quality: QualityScore | None = None
+    crp: CrpResult | None = None
+    fontana: FontanaResult | None = None
+    #: wall clock per stage: GR, CRP (or BASELINE), DR
+    runtime: dict[str, float] = field(default_factory=dict)
+    legal: bool = True
+    failed: bool = False
+
+    @property
+    def total_runtime(self) -> float:
+        return sum(self.runtime.values())
+
+    def summary(self) -> str:
+        q = self.quality
+        quality = q and (
+            f"wl={q.wirelength_dbu} vias={q.vias} drvs={q.drvs}"
+        )
+        return (
+            f"{self.design} [{self.mode}"
+            f"{f' k={self.crp_iterations}' if self.crp_iterations else ''}] "
+            f"{'FAILED' if self.failed else quality} "
+            f"({self.total_runtime:.1f}s)"
+        )
+
+
+def run_flow(
+    design: Design,
+    mode: str = "baseline",
+    crp_iterations: int = 1,
+    config: CrpConfig | None = None,
+    baseline_budget_s: float | None = None,
+    rrr_passes: int = 3,
+    skip_detailed: bool = False,
+) -> FlowResult:
+    """Run the full flow on ``design``.
+
+    ``mode`` is ``baseline`` (GR + DR only), ``crp`` (GR + CR&P x k +
+    DR), or ``fontana`` (GR + [18] + DR).  ``skip_detailed`` stops after
+    the movement stage for GR-level experiments.
+    """
+    if mode not in ("baseline", "crp", "fontana"):
+        raise ValueError(f"unknown flow mode {mode!r}")
+    result = FlowResult(
+        design=design.name,
+        mode=mode,
+        crp_iterations=crp_iterations if mode == "crp" else 0,
+    )
+
+    t0 = time.perf_counter()
+    router = GlobalRouter(design)
+    router.route_all(rrr_passes=rrr_passes)
+    result.runtime["GR"] = time.perf_counter() - t0
+
+    if mode == "crp":
+        framework = CrpFramework(design, router, config)
+        t0 = time.perf_counter()
+        result.crp = framework.run(crp_iterations)
+        result.runtime["CRP"] = time.perf_counter() - t0
+    elif mode == "fontana":
+        baseline = FontanaBaseline(
+            design, router, time_budget_s=baseline_budget_s
+        )
+        t0 = time.perf_counter()
+        result.fontana = baseline.run()
+        result.runtime["BASELINE"] = time.perf_counter() - t0
+        if result.fontana.failed:
+            result.failed = True
+            return result
+
+    result.gr_wirelength_dbu = router.total_wirelength_dbu()
+    result.gr_vias = router.total_vias()
+    result.gr_overflow = router.total_overflow()
+    result.legal = check_legality(design).is_legal
+
+    if skip_detailed:
+        return result
+
+    t0 = time.perf_counter()
+    guides = router.guides()
+    detailed = DetailedRouter(design)
+    dr_result = detailed.route_all(guides)
+    result.runtime["DR"] = time.perf_counter() - t0
+    result.quality = evaluate(design.name, design.tech, dr_result)
+    return result

@@ -1,0 +1,30 @@
+"""Runtime accounting helpers for the Fig. 2 / Fig. 3 benchmarks."""
+
+from __future__ import annotations
+
+from repro.flow.pipeline import FlowResult
+
+#: Fig. 3 stage labels, in the paper's plotting order.
+FIG3_STAGES = ("GR", "GCP", "ECC", "UD", "Misc", "DR")
+
+
+def runtime_breakdown_pct(result: FlowResult) -> dict[str, float]:
+    """Percentage runtime per Fig. 3 stage for one CR&P flow run.
+
+    ``GCP`` = candidate generation, ``ECC`` = candidate cost estimation,
+    ``UD`` = database update, ``Misc`` = labeling + selection ILP; GR
+    and DR are the routing stages around CR&P.
+    """
+    seconds: dict[str, float] = {stage: 0.0 for stage in FIG3_STAGES}
+    seconds["GR"] = result.runtime.get("GR", 0.0)
+    seconds["DR"] = result.runtime.get("DR", 0.0)
+    if result.crp is not None:
+        breakdown = result.crp.runtime_breakdown()
+        seconds["GCP"] = breakdown.get("GCP", 0.0)
+        seconds["ECC"] = breakdown.get("ECC", 0.0)
+        seconds["UD"] = breakdown.get("UD", 0.0)
+        seconds["Misc"] = breakdown.get("label", 0.0) + breakdown.get("ILP", 0.0)
+    total = sum(seconds.values())
+    if total <= 0:
+        return {stage: 0.0 for stage in FIG3_STAGES}
+    return {stage: 100.0 * s / total for stage, s in seconds.items()}

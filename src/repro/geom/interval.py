@@ -1,0 +1,64 @@
+"""1-D integer intervals, used for row free-space bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"malformed Interval: [{self.lo}, {self.hi}]")
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, x: int) -> bool:
+        return self.lo <= x <= self.hi
+
+    def overlaps(self, other: "Interval", strict: bool = True) -> bool:
+        """True when the intervals share more than a point (``strict``)."""
+        if strict:
+            return self.lo < other.hi and other.lo < self.hi
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+
+def merge_intervals(intervals: list[Interval]) -> list[Interval]:
+    """Merge touching/overlapping intervals into a minimal sorted list."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for iv in ordered[1:]:
+        last = merged[-1]
+        if iv.lo <= last.hi:
+            merged[-1] = Interval(last.lo, max(last.hi, iv.hi))
+        else:
+            merged.append(iv)
+    return merged
+
+
+def subtract_interval(base: Interval, hole: Interval) -> list[Interval]:
+    """Remove ``hole`` from ``base``; returns 0, 1, or 2 non-empty pieces."""
+    if hole.hi <= base.lo or hole.lo >= base.hi:
+        return [base]
+    pieces: list[Interval] = []
+    if hole.lo > base.lo:
+        pieces.append(Interval(base.lo, hole.lo))
+    if hole.hi < base.hi:
+        pieces.append(Interval(hole.hi, base.hi))
+    return pieces

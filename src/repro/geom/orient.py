@@ -1,0 +1,67 @@
+"""DEF placement orientations and shape transforms.
+
+Standard-cell rows alternate orientation so that power rails are shared;
+the DEF orientations we need for row-based designs are ``N`` (north,
+``R0``) and ``FS`` (flipped south, ``MX``).  The remaining six are
+implemented for completeness of the DEF substrate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.geom.rect import Rect
+
+
+class Orientation(Enum):
+    """The eight LEF/DEF component orientations."""
+
+    N = "N"
+    S = "S"
+    W = "W"
+    E = "E"
+    FN = "FN"
+    FS = "FS"
+    FW = "FW"
+    FE = "FE"
+
+    @property
+    def swaps_axes(self) -> bool:
+        """True for the four 90/270-degree orientations."""
+        return self in (Orientation.W, Orientation.E, Orientation.FW, Orientation.FE)
+
+    @staticmethod
+    def for_row(row_index: int) -> "Orientation":
+        """Conventional alternating row orientation (even rows N, odd FS)."""
+        return Orientation.N if row_index % 2 == 0 else Orientation.FS
+
+
+def transform_rect(
+    shape: Rect, orient: Orientation, macro_w: int, macro_h: int
+) -> Rect:
+    """Map a macro-local ``shape`` through ``orient``.
+
+    ``shape`` is expressed in the macro's local frame (origin at the
+    lower-left corner of the unrotated macro of size ``macro_w`` x
+    ``macro_h``).  The result is in the placed frame whose origin is the
+    placed component's lower-left corner, matching DEF ``PLACED pt orient``
+    semantics.
+    """
+    lx, ly, ux, uy = shape.as_tuple()
+    if orient is Orientation.N:
+        return shape
+    if orient is Orientation.S:
+        return Rect(macro_w - ux, macro_h - uy, macro_w - lx, macro_h - ly)
+    if orient is Orientation.FN:
+        return Rect(macro_w - ux, ly, macro_w - lx, uy)
+    if orient is Orientation.FS:
+        return Rect(lx, macro_h - uy, ux, macro_h - ly)
+    if orient is Orientation.W:
+        return Rect(macro_h - uy, lx, macro_h - ly, ux)
+    if orient is Orientation.E:
+        return Rect(ly, macro_w - ux, uy, macro_w - lx)
+    if orient is Orientation.FW:
+        return Rect(ly, lx, uy, ux)
+    if orient is Orientation.FE:
+        return Rect(macro_h - uy, macro_w - ux, macro_h - ly, macro_w - lx)
+    raise ValueError(f"unknown orientation {orient}")

@@ -1,0 +1,30 @@
+"""Integer points in DBU space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Point:
+    """An integer point ``(x, y)`` in database units."""
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_to(self, other: "Point") -> int:
+        """Manhattan distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def manhattan(a: Point, b: Point) -> int:
+    """Manhattan distance between two points."""
+    return abs(a.x - b.x) + abs(a.y - b.y)

@@ -1,0 +1,136 @@
+"""Axis-aligned integer rectangles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom.point import Point
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[lx, ux] x [ly, uy]`` in DBU.
+
+    Degenerate rectangles (zero width or height) are allowed; they model
+    wire centerline segments and on-track pin shapes.
+    """
+
+    lx: int
+    ly: int
+    ux: int
+    uy: int
+
+    def __post_init__(self) -> None:
+        if self.lx > self.ux or self.ly > self.uy:
+            raise ValueError(
+                f"malformed Rect: ({self.lx}, {self.ly}, {self.ux}, {self.uy})"
+            )
+
+    @property
+    def width(self) -> int:
+        """Horizontal extent."""
+        return self.ux - self.lx
+
+    @property
+    def height(self) -> int:
+        """Vertical extent."""
+        return self.uy - self.ly
+
+    @property
+    def area(self) -> int:
+        """Enclosed area in DBU^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Integer center (rounded down)."""
+        return Point((self.lx + self.ux) // 2, (self.ly + self.uy) // 2)
+
+    def contains_point(self, p: Point, strict: bool = False) -> bool:
+        """True if ``p`` lies inside the rectangle.
+
+        With ``strict`` the boundary is excluded.
+        """
+        if strict:
+            return self.lx < p.x < self.ux and self.ly < p.y < self.uy
+        return self.lx <= p.x <= self.ux and self.ly <= p.y <= self.uy
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies fully inside (boundary allowed)."""
+        return (
+            self.lx <= other.lx
+            and self.ly <= other.ly
+            and self.ux >= other.ux
+            and self.uy >= other.uy
+        )
+
+    def intersects(self, other: "Rect", strict: bool = True) -> bool:
+        """True if the rectangles overlap.
+
+        With ``strict`` (the default) mere edge/corner touching does not
+        count as an intersection, which matches the overlap semantics of
+        placement legality (abutting cells are legal).
+        """
+        if strict:
+            return (
+                self.lx < other.ux
+                and other.lx < self.ux
+                and self.ly < other.uy
+                and other.ly < self.uy
+            )
+        return (
+            self.lx <= other.ux
+            and other.lx <= self.ux
+            and self.ly <= other.uy
+            and other.ly <= self.uy
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping region, or ``None`` when disjoint."""
+        lx = max(self.lx, other.lx)
+        ly = max(self.ly, other.ly)
+        ux = min(self.ux, other.ux)
+        uy = min(self.uy, other.uy)
+        if lx > ux or ly > uy:
+            return None
+        return Rect(lx, ly, ux, uy)
+
+    def union(self, other: "Rect") -> "Rect":
+        """The bounding box of both rectangles."""
+        return Rect(
+            min(self.lx, other.lx),
+            min(self.ly, other.ly),
+            max(self.ux, other.ux),
+            max(self.uy, other.uy),
+        )
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.lx + dx, self.ly + dy, self.ux + dx, self.uy + dy)
+
+    def inflated(self, margin: int) -> "Rect":
+        """Return a copy grown by ``margin`` on every side."""
+        return Rect(
+            self.lx - margin, self.ly - margin, self.ux + margin, self.uy + margin
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """Return ``(lx, ly, ux, uy)``."""
+        return (self.lx, self.ly, self.ux, self.uy)
+
+    @staticmethod
+    def bounding(rects: "list[Rect]") -> "Rect":
+        """Bounding box of a non-empty list of rectangles."""
+        if not rects:
+            raise ValueError("bounding box of empty list")
+        return Rect(
+            min(r.lx for r in rects),
+            min(r.ly for r in rects),
+            max(r.ux for r in rects),
+            max(r.uy for r in rects),
+        )
+
+    @staticmethod
+    def from_points(a: Point, b: Point) -> "Rect":
+        """Rectangle spanned by two corner points in any order."""
+        return Rect(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))

@@ -1,0 +1,93 @@
+"""A* maze routing over the 3D GCell graph.
+
+The fallback when pattern routing cannot find an overflow-free path —
+used by the rip-up-and-reroute passes.  The search is bounded to the
+bounding box of the terminals plus a margin, which keeps RRR tractable
+on large grids.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from repro.grid import CostModel, GridEdge, RoutingGraph
+
+Node = tuple[int, int, int]  # (layer, gx, gy)
+
+
+def maze_route(
+    graph: RoutingGraph,
+    cost_model: CostModel,
+    sources: set[Node],
+    targets: set[Node],
+    margin: int = 4,
+    overflow_penalty: float = 0.0,
+) -> list[GridEdge] | None:
+    """Cheapest path from any source to any target.
+
+    ``overflow_penalty`` adds a hard surcharge to edges whose demand
+    already meets capacity, steering RRR away from full edges entirely.
+    Returns the edge list, or ``None`` when disconnected inside the
+    search window.
+    """
+    if not sources or not targets:
+        return None
+    if sources & targets:
+        return []
+
+    xs = [n[1] for n in sources | targets]
+    ys = [n[2] for n in sources | targets]
+    lo_x = max(0, min(xs) - margin)
+    hi_x = min(graph.grid.nx - 1, max(xs) + margin)
+    lo_y = max(0, min(ys) - margin)
+    hi_y = min(graph.grid.ny - 1, max(ys) + margin)
+
+    def in_window(node: Node) -> bool:
+        return lo_x <= node[1] <= hi_x and lo_y <= node[2] <= hi_y
+
+    def heuristic(node: Node) -> float:
+        return min(cost_model.lower_bound(node, t) for t in targets)
+
+    tie = count()
+    open_heap: list[tuple[float, int, Node]] = []
+    g_score: dict[Node, float] = {}
+    came_from: dict[Node, tuple[Node, GridEdge]] = {}
+    for s in sources:
+        g_score[s] = 0.0
+        heapq.heappush(open_heap, (heuristic(s), next(tie), s))
+
+    while open_heap:
+        f, _, node = heapq.heappop(open_heap)
+        g = g_score[node]
+        if f > g + heuristic(node) + 1e-9:
+            continue  # stale entry
+        if node in targets:
+            return _reconstruct(node, came_from)
+        for neighbour, edge in graph.neighbors(node):
+            if not in_window(neighbour):
+                continue
+            step = cost_model.edge_cost(edge)
+            if overflow_penalty > 0.0 and edge.kind.value == "wire":
+                if graph.demand(edge) >= graph.capacity(edge):
+                    step += overflow_penalty
+            tentative = g + step
+            if tentative < g_score.get(neighbour, float("inf")) - 1e-12:
+                g_score[neighbour] = tentative
+                came_from[neighbour] = (node, edge)
+                heapq.heappush(
+                    open_heap,
+                    (tentative + heuristic(neighbour), next(tie), neighbour),
+                )
+    return None
+
+
+def _reconstruct(
+    node: Node, came_from: dict[Node, tuple[Node, GridEdge]]
+) -> list[GridEdge]:
+    edges: list[GridEdge] = []
+    while node in came_from:
+        node, edge = came_from[node]
+        edges.append(edge)
+    edges.reverse()
+    return edges

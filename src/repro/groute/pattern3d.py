@@ -1,0 +1,158 @@
+"""The 3D pattern router (Algorithm 3's ``getPatternRoute3D``).
+
+Takes a 2D GCell polyline, assigns one routing layer to every straight
+run with a dynamic program, and materializes the chosen layers into
+graph edges (wires plus the vias stitching runs and terminals together).
+The DP cost is exactly the Eq. 10 edge cost under the current
+demand/capacity state, so congested layers are avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grid import CostModel, EdgeKind, GridEdge, RoutingGraph
+from repro.groute.patterns import GPoint, runs_of_path
+
+
+@dataclass(slots=True)
+class Pattern3DResult:
+    """A materialized 3D route: its edges, modeled cost, and end layer."""
+
+    edges: list[GridEdge]
+    cost: float
+    end_layer: int = 0
+
+
+class PatternRouter3D:
+    """Layer assignment over 2D patterns."""
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        cost_model: CostModel,
+        min_layer: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.cost = cost_model
+        self.min_layer = min_layer
+
+    # ------------------------------------------------------------------ API
+
+    def route(
+        self,
+        path: list[GPoint],
+        src_layer: int,
+        dst_layer: int | None,
+    ) -> Pattern3DResult | None:
+        """Assign layers to ``path`` connecting the two terminal layers.
+
+        With ``dst_layer=None`` the far end is a Steiner junction whose
+        layer is chosen freely by the DP (no terminal via stack there);
+        the chosen layer is reported in ``end_layer``.  Returns ``None``
+        when some run direction has no usable layer.
+        """
+        runs = runs_of_path(path)
+        if not runs:
+            # Both terminals share a GCell: a via stack suffices.
+            gx, gy = path[0]
+            edges = self._via_stack(gx, gy, src_layer, dst_layer if dst_layer is not None else src_layer)
+            end = dst_layer if dst_layer is not None else src_layer
+            return Pattern3DResult(
+                edges=edges, cost=self.cost.path_cost(edges), end_layer=end
+            )
+
+        run_layers: list[list[int]] = []
+        run_costs: list[dict[int, float]] = []
+        for run in runs:
+            horizontal = run[0][1] == run[1][1]
+            layers = [
+                layer.index
+                for layer in self.graph.tech.layers
+                if layer.index >= self.min_layer
+                and layer.is_horizontal == horizontal
+            ]
+            if not layers:
+                return None
+            run_layers.append(layers)
+            run_costs.append(
+                {layer: self._run_cost(run, layer) for layer in layers}
+            )
+
+        via_w = self.cost.params.via_weight
+        # DP over runs; state = chosen layer of the current run.
+        best: dict[int, float] = {}
+        back: list[dict[int, int]] = []
+        for layer in run_layers[0]:
+            best[layer] = run_costs[0][layer] + via_w * abs(layer - src_layer)
+        for i in range(1, len(runs)):
+            nxt: dict[int, float] = {}
+            links: dict[int, int] = {}
+            for layer in run_layers[i]:
+                candidates = (
+                    (best[prev] + via_w * abs(layer - prev), prev)
+                    for prev in run_layers[i - 1]
+                )
+                value, prev = min(candidates)
+                nxt[layer] = value + run_costs[i][layer]
+                links[layer] = prev
+            best = nxt
+            back.append(links)
+
+        if dst_layer is None:
+            final_layer = min(best, key=lambda layer: best[layer])
+        else:
+            final_layer = min(
+                best, key=lambda layer: best[layer] + via_w * abs(layer - dst_layer)
+            )
+        chosen = [final_layer]
+        for links in reversed(back):
+            chosen.append(links[chosen[-1]])
+        chosen.reverse()
+
+        edges = self._materialize(
+            runs, chosen, src_layer, dst_layer if dst_layer is not None else chosen[-1]
+        )
+        return Pattern3DResult(
+            edges=edges, cost=self.cost.path_cost(edges), end_layer=chosen[-1]
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def _run_cost(self, run: tuple[GPoint, GPoint], layer: int) -> float:
+        return sum(self.cost.edge_cost(e) for e in self._run_edges(run, layer))
+
+    def _run_edges(self, run: tuple[GPoint, GPoint], layer: int) -> list[GridEdge]:
+        (x0, y0), (x1, y1) = run
+        edges: list[GridEdge] = []
+        if y0 == y1:
+            for gx in range(min(x0, x1), max(x0, x1)):
+                edges.append(GridEdge(layer, gx, y0, EdgeKind.WIRE))
+        else:
+            for gy in range(min(y0, y1), max(y0, y1)):
+                edges.append(GridEdge(layer, x0, gy, EdgeKind.WIRE))
+        return edges
+
+    def _via_stack(self, gx: int, gy: int, lo: int, hi: int) -> list[GridEdge]:
+        if lo > hi:
+            lo, hi = hi, lo
+        return [GridEdge(layer, gx, gy, EdgeKind.VIA) for layer in range(lo, hi)]
+
+    def _materialize(
+        self,
+        runs: list[tuple[GPoint, GPoint]],
+        layers: list[int],
+        src_layer: int,
+        dst_layer: int,
+    ) -> list[GridEdge]:
+        edges: list[GridEdge] = []
+        sx, sy = runs[0][0]
+        edges += self._via_stack(sx, sy, src_layer, layers[0])
+        for i, (run, layer) in enumerate(zip(runs, layers)):
+            edges += self._run_edges(run, layer)
+            if i + 1 < len(runs):
+                bx, by = run[1]
+                edges += self._via_stack(bx, by, layer, layers[i + 1])
+        ex, ey = runs[-1][1]
+        edges += self._via_stack(ex, ey, layers[-1], dst_layer)
+        return edges

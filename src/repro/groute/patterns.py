@@ -1,0 +1,61 @@
+"""2D pattern generation: L- and Z-shaped GCell paths.
+
+A pattern is a polyline of GCell indices with axis-aligned runs.  The 3D
+pattern router assigns a layer to each run afterwards.
+"""
+
+from __future__ import annotations
+
+GPoint = tuple[int, int]
+
+
+def pattern_paths_2d(
+    a: GPoint, b: GPoint, num_z_samples: int = 3
+) -> list[list[GPoint]]:
+    """Candidate monotone paths from ``a`` to ``b``.
+
+    Straight connections yield a single path; otherwise the two L-shapes
+    plus up to ``num_z_samples`` Z-shapes per axis are produced.
+    """
+    ax, ay = a
+    bx, by = b
+    if a == b:
+        return [[a]]
+    if ax == bx or ay == by:
+        return [[a, b]]
+    paths: list[list[GPoint]] = [
+        [a, (bx, ay), b],  # horizontal first
+        [a, (ax, by), b],  # vertical first
+    ]
+    lo_x, hi_x = sorted((ax, bx))
+    for mid_x in _samples(lo_x, hi_x, num_z_samples):
+        if mid_x in (ax, bx):
+            continue
+        paths.append([a, (mid_x, ay), (mid_x, by), b])
+    lo_y, hi_y = sorted((ay, by))
+    for mid_y in _samples(lo_y, hi_y, num_z_samples):
+        if mid_y in (ay, by):
+            continue
+        paths.append([a, (ax, mid_y), (bx, mid_y), b])
+    return paths
+
+
+def _samples(lo: int, hi: int, count: int) -> list[int]:
+    """Up to ``count`` interior values spread across ``(lo, hi)``."""
+    interior = hi - lo - 1
+    if interior <= 0:
+        return []
+    if interior <= count:
+        return list(range(lo + 1, hi))
+    step = (hi - lo) / (count + 1)
+    values = {lo + max(1, int(round(step * (i + 1)))) for i in range(count)}
+    return sorted(v for v in values if lo < v < hi)
+
+
+def runs_of_path(path: list[GPoint]) -> list[tuple[GPoint, GPoint]]:
+    """Non-degenerate straight runs of a polyline."""
+    runs: list[tuple[GPoint, GPoint]] = []
+    for p, q in zip(path[:-1], path[1:]):
+        if p != q:
+            runs.append((p, q))
+    return runs

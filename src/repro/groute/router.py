@@ -1,0 +1,348 @@
+"""The global-routing driver (the flow's CUGR stand-in).
+
+Routes every net with FLUTE decomposition + 3D pattern routing, then
+runs rip-up-and-reroute maze passes on overflowed edges.  Exposes the
+queries CR&P needs: per-net route cost, congestion state, incremental
+reroute of dirty nets after cell movement, and guide emission for the
+detailed router.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.geom import Point, Rect
+from repro.db import Design, Net
+from repro.flute import build_rsmt
+from repro.grid import (
+    CostModel,
+    CostParams,
+    EdgeKind,
+    GCellGrid,
+    GridEdge,
+    RoutingGraph,
+)
+from repro.groute.maze import maze_route
+from repro.groute.pattern3d import PatternRouter3D
+from repro.groute.patterns import pattern_paths_2d
+from repro.lefdef.guides import GuideRect
+
+Node = tuple[int, int, int]
+
+
+@dataclass(slots=True)
+class NetRoute:
+    """The committed route of one net."""
+
+    net: str
+    edges: set[GridEdge] = field(default_factory=set)
+    terminals: list[Node] = field(default_factory=list)
+
+    def nodes(self, graph: RoutingGraph) -> set[Node]:
+        """Every graph node the route touches (for incremental maze)."""
+        result: set[Node] = set(self.terminals)
+        for edge in self.edges:
+            a, b = edge.endpoints(graph)
+            result.add(a)
+            result.add(b)
+        return result
+
+    def wirelength_dbu(self, grid: GCellGrid, graph: RoutingGraph) -> int:
+        total = 0
+        for edge in self.edges:
+            if edge.kind is EdgeKind.WIRE:
+                if graph.tech.layers[edge.layer].is_horizontal:
+                    total += grid.step_x
+                else:
+                    total += grid.step_y
+        return total
+
+    def via_count(self) -> int:
+        return sum(1 for e in self.edges if e.kind is EdgeKind.VIA)
+
+
+class GlobalRouter:
+    """Congestion-aware 3D global router over a design."""
+
+    def __init__(
+        self,
+        design: Design,
+        params: CostParams | None = None,
+        target_gcells: int = 32,
+        beta: float = 1.5,
+    ) -> None:
+        self.design = design
+        self.grid = GCellGrid.for_design(design, target_gcells=target_gcells)
+        self.graph = RoutingGraph(self.grid, design.tech, beta=beta)
+        self.graph.init_fixed_usage(design)
+        self.cost = CostModel(self.graph, params)
+        self.pattern3d = PatternRouter3D(
+            self.graph, self.cost, min_layer=self.graph.min_wire_layer
+        )
+        self.routes: dict[str, NetRoute] = {}
+        self._edge_nets: dict[GridEdge, set[str]] = defaultdict(set)
+
+    # ------------------------------------------------------------ terminals
+
+    def terminals_of(self, net: Net) -> list[Node]:
+        """Distinct (layer, gx, gy) terminal nodes of a net."""
+        nodes: list[Node] = []
+        seen: set[Node] = set()
+        for pin in net.pins:
+            point = self.design.pin_point(pin)
+            layer = self.design.pin_layer(pin)
+            gx, gy = self.grid.gcell_of(point)
+            node = (layer, gx, gy)
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+        return nodes
+
+    # -------------------------------------------------------------- routing
+
+    def route_all(self, rrr_passes: int = 3) -> None:
+        """Route every net, then run rip-up-and-reroute on overflows."""
+        order = sorted(
+            self.design.nets.values(),
+            key=lambda n: (self.design.net_hpwl(n), n.name),
+        )
+        for net in order:
+            self.route_net(net.name)
+        for _ in range(rrr_passes):
+            if not self._rrr_pass():
+                break
+
+    def route_net(self, net_name: str) -> NetRoute:
+        """(Re)route one net with RSMT + 3D pattern routing."""
+        if net_name in self.routes:
+            self.rip_up(net_name)
+        net = self.design.nets[net_name]
+        terminals = self.terminals_of(net)
+        route = NetRoute(net=net_name, terminals=terminals)
+        if len(terminals) > 1:
+            route.edges = self._route_tree(terminals)
+        self._commit(route)
+        return route
+
+    def _route_tree(self, terminals: list[Node]) -> set[GridEdge]:
+        """Pattern-route the RSMT decomposition of the terminals."""
+        points = [Point(t[1], t[2]) for t in terminals]
+        tree = build_rsmt(points)
+        # Tree point index -> known layer (terminals fixed, junctions free).
+        layer_of: dict[int, int | None] = {}
+        for index, point in enumerate(tree.points):
+            layer_of[index] = None
+        for terminal in terminals:
+            for index, point in enumerate(tree.points):
+                if (point.x, point.y) == (terminal[1], terminal[2]):
+                    if layer_of[index] is None:
+                        layer_of[index] = terminal[0]
+
+        edges: set[GridEdge] = set()
+        # Route tree edges rooted at point 0 so each segment starts from a
+        # node whose layer is already decided.
+        adjacency: dict[int, list[int]] = defaultdict(list)
+        for a, b in tree.edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        visited = {0}
+        if layer_of[0] is None:
+            layer_of[0] = 0
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in adjacency[u]:
+                if v in visited:
+                    continue
+                visited.add(v)
+                src = (layer_of[u], tree.points[u].x, tree.points[u].y)
+                dst_xy = (tree.points[v].x, tree.points[v].y)
+                result = self._route_segment(src, dst_xy, layer_of[v])
+                if result is not None:
+                    edges.update(result[0])
+                    if layer_of[v] is None:
+                        layer_of[v] = result[1]
+                elif layer_of[v] is None:
+                    layer_of[v] = layer_of[u]
+                stack.append(v)
+        return edges
+
+    def _route_segment(
+        self,
+        src: Node,
+        dst_xy: tuple[int, int],
+        dst_layer: int | None,
+    ) -> tuple[list[GridEdge], int] | None:
+        """Best pattern route for one 2-pin segment."""
+        best = None
+        for path in pattern_paths_2d((src[1], src[2]), dst_xy):
+            result = self.pattern3d.route(path, src[0], dst_layer)
+            if result is None:
+                continue
+            if best is None or result.cost < best.cost:
+                best = result
+        if best is None:
+            return None
+        return best.edges, best.end_layer
+
+    # ------------------------------------------------------------ commit/rip
+
+    def _commit(self, route: NetRoute) -> None:
+        self.graph.apply_route(sorted(route.edges), sign=1)
+        for edge in route.edges:
+            self._edge_nets[edge].add(route.net)
+        self.routes[route.net] = route
+
+    def rip_up(self, net_name: str) -> None:
+        route = self.routes.pop(net_name, None)
+        if route is None:
+            return
+        self.graph.apply_route(sorted(route.edges), sign=-1)
+        for edge in route.edges:
+            users = self._edge_nets.get(edge)
+            if users is not None:
+                users.discard(net_name)
+                if not users:
+                    del self._edge_nets[edge]
+
+    def reroute_nets(self, net_names: list[str]) -> None:
+        """Rip up and pattern-reroute nets (CR&P's Update Database step)."""
+        for name in net_names:
+            self.rip_up(name)
+        for name in sorted(
+            net_names,
+            key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n),
+        ):
+            self.route_net(name)
+
+    # ----------------------------------------------------------------- RRR
+
+    def _rrr_pass(self, max_nets: int = 200) -> bool:
+        """One rip-up-and-reroute pass; True when it changed anything."""
+        victims: list[str] = []
+        seen: set[str] = set()
+        for edge, users in self._edge_nets.items():
+            if edge.kind is not EdgeKind.WIRE:
+                continue
+            if self.graph.demand(edge) > self.graph.capacity(edge):
+                for name in users:
+                    if name not in seen:
+                        seen.add(name)
+                        victims.append(name)
+        if not victims:
+            return False
+        victims.sort(
+            key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n)
+        )
+        for name in victims[:max_nets]:
+            self._maze_reroute(name)
+        return True
+
+    def _maze_reroute(self, net_name: str) -> None:
+        """Reroute one net terminal-by-terminal with overflow-averse A*."""
+        self.rip_up(net_name)
+        net = self.design.nets[net_name]
+        terminals = self.terminals_of(net)
+        route = NetRoute(net=net_name, terminals=terminals)
+        if len(terminals) > 1:
+            connected: set[Node] = {terminals[0]}
+            for terminal in terminals[1:]:
+                path = maze_route(
+                    self.graph,
+                    self.cost,
+                    sources=set(connected),
+                    targets={terminal},
+                    overflow_penalty=10.0 * self.cost.params.via_weight,
+                )
+                if path is None:
+                    fallback = self._route_segment(
+                        next(iter(connected)), (terminal[1], terminal[2]), terminal[0]
+                    )
+                    path = fallback[0] if fallback else []
+                route.edges.update(path)
+                connected.add(terminal)
+                for edge in path:
+                    a, b = edge.endpoints(self.graph)
+                    connected.add(a)
+                    connected.add(b)
+        self._commit(route)
+
+    # ------------------------------------------------------------- queries
+
+    def net_cost(self, net_name: str) -> float:
+        """Eq. 10 path cost of a net's current route."""
+        route = self.routes.get(net_name)
+        if route is None:
+            return 0.0
+        return self.cost.path_cost(sorted(route.edges))
+
+    def cell_cost(self, cell_name: str) -> float:
+        """Total route cost of the nets on a cell (Algorithm 1 ordering)."""
+        return sum(
+            self.net_cost(net.name) for net in self.design.nets_of_cell(cell_name)
+        )
+
+    def total_wirelength_dbu(self) -> int:
+        return self.graph.total_wire_dbu()
+
+    def total_vias(self) -> int:
+        return self.graph.total_vias()
+
+    def total_overflow(self) -> float:
+        return self.graph.overflow()
+
+    def dirty_nets_for_cells(self, cell_names: list[str]) -> list[str]:
+        """Nets needing reroute after the given cells moved."""
+        dirty: dict[str, None] = {}
+        for cell_name in cell_names:
+            for net in self.design.nets_of_cell(cell_name):
+                dirty.setdefault(net.name)
+        return list(dirty)
+
+    # -------------------------------------------------------------- guides
+
+    def guides(self, expand: int = 1) -> dict[str, list[GuideRect]]:
+        """Per-net route guides for the detailed router.
+
+        Every wire edge contributes its two GCells on its layer, every
+        via edge its GCell on both layers, and every terminal its GCell
+        from its pin layer up to the lowest routed layer.  ``expand``
+        grows each guide by that many GCells on every side, mirroring
+        the slack detailed routers are given in practice.
+        """
+        result: dict[str, list[GuideRect]] = {}
+        for net_name, route in self.routes.items():
+            per_layer: dict[int, set[tuple[int, int]]] = defaultdict(set)
+            for edge in route.edges:
+                a, b = edge.endpoints(self.graph)
+                per_layer[a[0]].add((a[1], a[2]))
+                per_layer[b[0]].add((b[1], b[2]))
+            for layer, gx, gy in route.terminals:
+                per_layer[layer].add((gx, gy))
+                per_layer[min(layer + 1, self.graph.num_layers - 1)].add((gx, gy))
+            rects: list[GuideRect] = []
+            for layer, gcells in sorted(per_layer.items()):
+                for gx, gy in sorted(gcells):
+                    lo = self.grid.rect_of(
+                        max(0, gx - expand), max(0, gy - expand)
+                    )
+                    hi = self.grid.rect_of(
+                        min(self.grid.nx - 1, gx + expand),
+                        min(self.grid.ny - 1, gy + expand),
+                    )
+                    rects.append(GuideRect(layer, lo.union(hi)))
+            result[net_name] = _merge_guides(rects)
+        return result
+
+
+def _merge_guides(rects: list[GuideRect]) -> list[GuideRect]:
+    """Drop guide rects fully contained in another on the same layer."""
+    kept: list[GuideRect] = []
+    for g in sorted(rects, key=lambda g: (g.layer, -g.rect.area)):
+        if any(
+            k.layer == g.layer and k.rect.contains_rect(g.rect) for k in kept
+        ):
+            continue
+        kept.append(g)
+    return kept

@@ -1,0 +1,25 @@
+"""Integer linear programming substrate (replaces CPLEX).
+
+A small modeling layer plus three interchangeable exact backends:
+
+* ``scipy`` — :func:`scipy.optimize.milp` (HiGHS branch-and-cut),
+* ``bnb``   — a pure-Python branch-and-bound over LP relaxations,
+* ``exhaustive`` — enumeration for tiny all-binary models.
+
+``solve`` picks automatically: HiGHS when available, otherwise B&B.
+"""
+
+from repro.ilp.model import Constraint, IlpModel, LinTerm, Sense, Variable
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.solver import solve
+
+__all__ = [
+    "IlpModel",
+    "Variable",
+    "Constraint",
+    "LinTerm",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "solve",
+]

@@ -1,0 +1,135 @@
+"""Pure-Python branch-and-bound over LP relaxations.
+
+A fallback exact MILP solver that only needs ``scipy.optimize.linprog``
+(or nothing at all for models whose LP relaxation is integral).  Used
+when :func:`scipy.optimize.milp` is unavailable and as an independent
+cross-check of the HiGHS backend in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ilp.model import IlpModel, Sense
+from repro.ilp.solution import Solution, SolveStatus
+
+
+def solve_bnb(model: IlpModel, max_nodes: int = 20000) -> Solution:
+    """Best-first branch-and-bound with LP-relaxation bounding."""
+    n = model.num_variables
+    if n == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=0.0, backend="bnb")
+
+    cost = np.array([v.cost for v in model.variables])
+    a_ub, b_ub, a_eq, b_eq = _matrices(model)
+
+    incumbent: np.ndarray | None = None
+    incumbent_obj = float("inf")
+    # stack of (extra lower bounds, extra upper bounds)
+    base_lb = np.array([v.lower for v in model.variables])
+    base_ub = np.array([v.upper for v in model.variables])
+    stack: list[tuple[np.ndarray, np.ndarray]] = [(base_lb, base_ub)]
+    nodes = 0
+
+    while stack and nodes < max_nodes:
+        lb, ub = stack.pop()
+        nodes += 1
+        relax = _solve_lp(cost, a_ub, b_ub, a_eq, b_eq, lb, ub)
+        if relax is None:
+            continue
+        obj, x = relax
+        if obj >= incumbent_obj - 1e-9:
+            continue
+        frac_index = _most_fractional(model, x)
+        if frac_index is None:
+            if obj < incumbent_obj:
+                incumbent_obj = obj
+                incumbent = x.copy()
+            continue
+        floor_val = math.floor(x[frac_index] + 1e-9)
+        up_lb = lb.copy()
+        up_lb[frac_index] = floor_val + 1
+        down_ub = ub.copy()
+        down_ub[frac_index] = floor_val
+        # Explore the branch nearer the fractional value first.
+        if x[frac_index] - floor_val > 0.5:
+            stack.append((lb, down_ub))
+            stack.append((up_lb, ub))
+        else:
+            stack.append((up_lb, ub))
+            stack.append((lb, down_ub))
+
+    if incumbent is None:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="bnb")
+    values = {
+        v.name: (round(incumbent[v.index]) if v.integral else float(incumbent[v.index]))
+        for v in model.variables
+    }
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=float(incumbent_obj),
+        values=values,
+        backend="bnb",
+    )
+
+
+def _matrices(model: IlpModel):
+    n = model.num_variables
+    rows_ub: list[np.ndarray] = []
+    b_ub: list[float] = []
+    rows_eq: list[np.ndarray] = []
+    b_eq: list[float] = []
+    for c in model.constraints:
+        row = np.zeros(n)
+        for t in c.terms:
+            row[t.var] += t.coeff
+        if c.sense is Sense.LE:
+            rows_ub.append(row)
+            b_ub.append(c.rhs)
+        elif c.sense is Sense.GE:
+            rows_ub.append(-row)
+            b_ub.append(-c.rhs)
+        else:
+            rows_eq.append(row)
+            b_eq.append(c.rhs)
+    a_ub = np.vstack(rows_ub) if rows_ub else None
+    a_eq = np.vstack(rows_eq) if rows_eq else None
+    return (
+        a_ub,
+        np.array(b_ub) if rows_ub else None,
+        a_eq,
+        np.array(b_eq) if rows_eq else None,
+    )
+
+
+def _solve_lp(cost, a_ub, b_ub, a_eq, b_eq, lb, ub):
+    if np.any(lb > ub + 1e-12):
+        return None
+    result = linprog(
+        c=cost,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=list(zip(lb, ub)),
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return float(result.fun), np.asarray(result.x)
+
+
+def _most_fractional(model: IlpModel, x: np.ndarray) -> int | None:
+    best = None
+    best_frac = 1e-6
+    for v in model.variables:
+        if not v.integral:
+            continue
+        frac = abs(x[v.index] - round(x[v.index]))
+        if frac > best_frac:
+            best_frac = frac
+            best = v.index
+    return best

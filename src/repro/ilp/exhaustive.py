@@ -1,0 +1,41 @@
+"""Exhaustive enumeration backend for tiny all-binary models."""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.ilp.model import IlpModel
+from repro.ilp.solution import Solution, SolveStatus
+
+MAX_EXHAUSTIVE_VARS = 22
+
+
+def solve_exhaustive(model: IlpModel) -> Solution:
+    """Enumerate all 0/1 assignments; exact but exponential.
+
+    Only valid for all-binary models with at most
+    :data:`MAX_EXHAUSTIVE_VARS` variables.
+    """
+    if not model.all_binary:
+        raise ValueError("exhaustive backend requires an all-binary model")
+    n = model.num_variables
+    if n > MAX_EXHAUSTIVE_VARS:
+        raise ValueError(f"exhaustive backend limited to {MAX_EXHAUSTIVE_VARS} vars")
+    best: list[float] | None = None
+    best_obj = float("inf")
+    for assignment in product((0.0, 1.0), repeat=n):
+        values = list(assignment)
+        if not model.is_feasible(values):
+            continue
+        obj = model.objective_value(values)
+        if obj < best_obj:
+            best_obj = obj
+            best = values
+    if best is None:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="exhaustive")
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=best_obj,
+        values={v.name: best[v.index] for v in model.variables},
+        backend="exhaustive",
+    )

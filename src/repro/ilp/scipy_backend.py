@@ -1,0 +1,68 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import csr_matrix
+
+from repro.ilp.model import IlpModel, Sense
+from repro.ilp.solution import Solution, SolveStatus
+
+
+def solve_scipy(model: IlpModel) -> Solution:
+    """Solve ``model`` exactly with HiGHS."""
+    n = model.num_variables
+    if n == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=0.0, backend="scipy")
+    cost = np.array([v.cost for v in model.variables])
+    integrality = np.array(
+        [1 if v.integral else 0 for v in model.variables], dtype=np.int8
+    )
+    bounds = Bounds(
+        lb=np.array([v.lower for v in model.variables]),
+        ub=np.array([v.upper for v in model.variables]),
+    )
+    constraints = []
+    if model.constraints:
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        lb = np.full(model.num_constraints, -np.inf)
+        ub = np.full(model.num_constraints, np.inf)
+        for i, c in enumerate(model.constraints):
+            for t in c.terms:
+                rows.append(i)
+                cols.append(t.var)
+                data.append(t.coeff)
+            if c.sense is Sense.LE:
+                ub[i] = c.rhs
+            elif c.sense is Sense.GE:
+                lb[i] = c.rhs
+            else:
+                lb[i] = c.rhs
+                ub[i] = c.rhs
+        matrix = csr_matrix(
+            (data, (rows, cols)), shape=(model.num_constraints, n)
+        )
+        constraints = [LinearConstraint(matrix, lb, ub)]
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+    )
+    if result.status == 2:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="scipy")
+    if not result.success or result.x is None:
+        return Solution(status=SolveStatus.ERROR, backend="scipy")
+    values = {
+        v.name: (round(x) if v.integral else float(x))
+        for v, x in zip(model.variables, result.x)
+    }
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=float(result.fun),
+        values=values,
+        backend="scipy",
+    )

@@ -1,0 +1,35 @@
+"""Backend dispatch for ILP solves."""
+
+from __future__ import annotations
+
+from repro.ilp.model import IlpModel
+from repro.ilp.solution import Solution, SolveStatus
+
+
+def solve(model: IlpModel, backend: str = "auto") -> Solution:
+    """Solve ``model`` exactly.
+
+    ``backend`` is one of ``auto`` (HiGHS if importable, else
+    branch-and-bound), ``scipy``, ``bnb``, or ``exhaustive``.
+    """
+    if backend == "auto":
+        try:
+            from repro.ilp.scipy_backend import solve_scipy
+        except ImportError:  # pragma: no cover - depends on scipy build
+            from repro.ilp.bnb import solve_bnb
+
+            return solve_bnb(model)
+        return solve_scipy(model)
+    if backend == "scipy":
+        from repro.ilp.scipy_backend import solve_scipy
+
+        return solve_scipy(model)
+    if backend == "bnb":
+        from repro.ilp.bnb import solve_bnb
+
+        return solve_bnb(model)
+    if backend == "exhaustive":
+        from repro.ilp.exhaustive import solve_exhaustive
+
+        return solve_exhaustive(model)
+    raise ValueError(f"unknown ILP backend {backend!r}")

@@ -1,0 +1,325 @@
+"""DEF 5.8 (subset) reader and writer.
+
+Covers the design constructs the ISPD-2018 benchmarks use: ``DIEAREA``,
+``ROW``, ``TRACKS``, ``GCELLGRID``, ``COMPONENTS``, ``PINS``, ``NETS``,
+and ``BLOCKAGES``.  DEF coordinates are already in DBU.
+"""
+
+from __future__ import annotations
+
+from repro.geom import Orientation, Point, Rect
+from repro.db import Blockage, Cell, Design, IOPin, Net, NetPin, Row
+from repro.db.design import GCellGridSpec
+from repro.lefdef.lexer import TokenStream, tokenize
+from repro.tech import PinDirection, Technology
+
+
+def parse_def(text: str, tech: Technology) -> Design:
+    """Parse DEF source into a :class:`Design` bound to ``tech``."""
+    stream = TokenStream(tokenize(text))
+    name = "design"
+    die = Rect(0, 0, 1, 1)
+    rows: list[tuple] = []
+    gcell: dict[str, tuple[int, int, int]] = {}
+    components: list[tuple] = []
+    pins: list[tuple] = []
+    nets: list[tuple] = []
+    blockages: list[Blockage] = []
+
+    while not stream.at_end():
+        token = stream.next()
+        if token == "DESIGN":
+            name = stream.next()
+            stream.expect(";")
+        elif token == "DIEAREA":
+            p0 = _parse_point(stream)
+            p1 = _parse_point(stream)
+            stream.expect(";")
+            die = Rect.from_points(p0, p1)
+        elif token == "ROW":
+            rows.append(_parse_row(stream))
+        elif token == "GCELLGRID":
+            axis = stream.next()
+            origin = stream.next_int()
+            stream.expect("DO")
+            count = stream.next_int()
+            stream.expect("STEP")
+            step = stream.next_int()
+            stream.expect(";")
+            gcell[axis] = (origin, count, step)
+        elif token == "COMPONENTS":
+            components = _parse_components(stream)
+        elif token == "PINS":
+            pins = _parse_pins(stream, tech)
+        elif token == "NETS":
+            nets = _parse_nets(stream)
+        elif token == "BLOCKAGES":
+            blockages = _parse_blockages(stream, tech)
+        elif token == "END" and stream.peek() == "DESIGN":
+            break
+        elif token in ("VERSION", "DIVIDERCHAR", "BUSBITCHARS", "UNITS", "TRACKS"):
+            stream.skip_statement()
+
+    design = Design(name, tech, die)
+    for row_name, site_name, ox, oy, orient, num in rows:
+        design.add_row(
+            Row(row_name, tech.sites[site_name], ox, oy, num, Orientation(orient))
+        )
+    if "X" in gcell and "Y" in gcell:
+        gx, gy = gcell["X"], gcell["Y"]
+        design.gcell_grid = GCellGridSpec(
+            origin_x=gx[0],
+            origin_y=gy[0],
+            step_x=gx[2],
+            step_y=gy[2],
+            nx=max(1, gx[1] - 1),
+            ny=max(1, gy[1] - 1),
+        )
+    for comp_name, macro_name, x, y, orient, fixed in components:
+        design.add_cell(
+            Cell(
+                name=comp_name,
+                macro=tech.macros[macro_name],
+                x=x,
+                y=y,
+                orient=Orientation(orient),
+                fixed=fixed,
+            )
+        )
+    for pin_name, direction, layer, rect, x, y in pins:
+        design.add_iopin(
+            IOPin(
+                name=pin_name,
+                point=Point(x, y),
+                layer=layer,
+                rect=rect.translated(x, y),
+                direction=direction,
+            )
+        )
+    for net_name, terminals in nets:
+        net = Net(net_name)
+        for cell_name, pin_name in terminals:
+            net.add_pin(NetPin(cell_name, pin_name))
+        design.add_net(net)
+    for blockage in blockages:
+        design.add_blockage(blockage)
+    return design
+
+
+def _parse_point(stream: TokenStream) -> Point:
+    stream.expect("(")
+    x = stream.next_int()
+    y = stream.next_int()
+    stream.expect(")")
+    return Point(x, y)
+
+
+def _parse_row(stream: TokenStream) -> tuple:
+    row_name = stream.next()
+    site_name = stream.next()
+    ox = stream.next_int()
+    oy = stream.next_int()
+    orient = stream.next()
+    stream.expect("DO")
+    num_x = stream.next_int()
+    stream.expect("BY")
+    stream.next_int()  # rows are 1 site tall
+    stream.expect("STEP")
+    stream.next_int()
+    stream.next_int()
+    stream.expect(";")
+    return (row_name, site_name, ox, oy, orient, num_x)
+
+
+def _parse_components(stream: TokenStream) -> list[tuple]:
+    stream.next_int()
+    stream.expect(";")
+    components: list[tuple] = []
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect("COMPONENTS")
+            return components
+        if token != "-":
+            raise ValueError(f"bad COMPONENTS entry: {token!r}")
+        comp_name = stream.next()
+        macro_name = stream.next()
+        fixed = False
+        x = y = 0
+        orient = "N"
+        while stream.peek() != ";":
+            stream.expect("+")
+            kind = stream.next()
+            if kind in ("PLACED", "FIXED"):
+                fixed = kind == "FIXED"
+                point = _parse_point(stream)
+                x, y = point.x, point.y
+                orient = stream.next()
+            elif kind == "SOURCE":
+                stream.next()
+            else:
+                raise ValueError(f"unsupported COMPONENTS attr {kind!r}")
+        stream.expect(";")
+        components.append((comp_name, macro_name, x, y, orient, fixed))
+
+
+def _parse_pins(stream: TokenStream, tech: Technology) -> list[tuple]:
+    stream.next_int()
+    stream.expect(";")
+    pins: list[tuple] = []
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect("PINS")
+            return pins
+        pin_name = stream.next()
+        direction = PinDirection.INPUT
+        layer = 0
+        rect = Rect(0, 0, 0, 0)
+        x = y = 0
+        while stream.peek() != ";":
+            stream.expect("+")
+            kind = stream.next()
+            if kind == "NET":
+                stream.next()
+            elif kind == "DIRECTION":
+                direction = PinDirection(stream.next())
+            elif kind == "USE":
+                stream.next()
+            elif kind == "LAYER":
+                layer = tech.layer_by_name(stream.next()).index
+                p0 = _parse_point(stream)
+                p1 = _parse_point(stream)
+                rect = Rect.from_points(p0, p1)
+            elif kind in ("PLACED", "FIXED"):
+                point = _parse_point(stream)
+                x, y = point.x, point.y
+                stream.next()  # orientation
+            else:
+                raise ValueError(f"unsupported PINS attr {kind!r}")
+        stream.expect(";")
+        pins.append((pin_name, direction, layer, rect, x, y))
+
+
+def _parse_nets(stream: TokenStream) -> list[tuple]:
+    stream.next_int()
+    stream.expect(";")
+    nets: list[tuple] = []
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect("NETS")
+            return nets
+        net_name = stream.next()
+        terminals: list[tuple[str | None, str]] = []
+        while stream.peek() == "(":
+            stream.expect("(")
+            owner = stream.next()
+            pin_name = stream.next()
+            stream.expect(")")
+            if owner == "PIN":
+                terminals.append((None, pin_name))
+            else:
+                terminals.append((owner, pin_name))
+        while stream.peek() != ";":
+            stream.expect("+")
+            stream.next()  # USE SIGNAL etc.
+            if stream.peek() not in ("+", ";"):
+                stream.next()
+        stream.expect(";")
+        nets.append((net_name, terminals))
+
+
+def _parse_blockages(stream: TokenStream, tech: Technology) -> list[Blockage]:
+    stream.next_int()
+    stream.expect(";")
+    blockages: list[Blockage] = []
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect("BLOCKAGES")
+            return blockages
+        kind = stream.next()
+        if kind == "LAYER":
+            layer = tech.layer_by_name(stream.next()).index
+        elif kind == "PLACEMENT":
+            layer = -1
+        else:
+            raise ValueError(f"unsupported BLOCKAGES kind {kind!r}")
+        stream.expect("RECT")
+        p0 = _parse_point(stream)
+        p1 = _parse_point(stream)
+        stream.expect(";")
+        blockages.append(Blockage(layer, Rect.from_points(p0, p1)))
+
+
+# --------------------------------------------------------------------- writer
+
+
+def write_def(design: Design) -> str:
+    """Emit ``design`` as DEF text that :func:`parse_def` round-trips."""
+    tech = design.tech
+    out: list[str] = [
+        "VERSION 5.8 ;",
+        f"DESIGN {design.name} ;",
+        f"UNITS DISTANCE MICRONS {tech.dbu_per_micron} ;",
+        f"DIEAREA ( {design.die.lx} {design.die.ly} ) "
+        f"( {design.die.ux} {design.die.uy} ) ;",
+    ]
+    for row in design.rows:
+        out.append(
+            f"ROW {row.name} {row.site.name} {row.origin_x} {row.origin_y} "
+            f"{row.orient.value} DO {row.num_sites} BY 1 "
+            f"STEP {row.site.width} 0 ;"
+        )
+    grid = design.gcell_grid
+    if grid is not None:
+        out.append(
+            f"GCELLGRID X {grid.origin_x} DO {grid.nx + 1} STEP {grid.step_x} ;"
+        )
+        out.append(
+            f"GCELLGRID Y {grid.origin_y} DO {grid.ny + 1} STEP {grid.step_y} ;"
+        )
+    out.append(f"COMPONENTS {len(design.cells)} ;")
+    for cell in design.cells.values():
+        status = "FIXED" if cell.fixed else "PLACED"
+        out.append(
+            f"  - {cell.name} {cell.macro.name} + {status} "
+            f"( {cell.x} {cell.y} ) {cell.orient.value} ;"
+        )
+    out.append("END COMPONENTS")
+    out.append(f"PINS {len(design.iopins)} ;")
+    for pin in design.iopins.values():
+        layer = tech.layers[pin.layer]
+        local = pin.rect.translated(-pin.point.x, -pin.point.y)
+        out.append(
+            f"  - {pin.name} + NET {pin.name} + DIRECTION {pin.direction.value} "
+            f"+ LAYER {layer.name} ( {local.lx} {local.ly} ) "
+            f"( {local.ux} {local.uy} ) "
+            f"+ PLACED ( {pin.point.x} {pin.point.y} ) N ;"
+        )
+    out.append("END PINS")
+    out.append(f"NETS {len(design.nets)} ;")
+    for net in design.nets.values():
+        terms = " ".join(
+            f"( PIN {p.pin} )" if p.cell is None else f"( {p.cell} {p.pin} )"
+            for p in net.pins
+        )
+        out.append(f"  - {net.name} {terms} + USE SIGNAL ;")
+    out.append("END NETS")
+    if design.blockages:
+        out.append(f"BLOCKAGES {len(design.blockages)} ;")
+        for blk in design.blockages:
+            r = blk.rect
+            if blk.is_placement:
+                out.append(
+                    f"  - PLACEMENT RECT ( {r.lx} {r.ly} ) ( {r.ux} {r.uy} ) ;"
+                )
+            else:
+                out.append(
+                    f"  - LAYER {tech.layers[blk.layer].name} "
+                    f"RECT ( {r.lx} {r.ly} ) ( {r.ux} {r.uy} ) ;"
+                )
+        out.append("END BLOCKAGES")
+    out.append("END DESIGN")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,329 @@
+"""LEF 5.8 (subset) reader and writer.
+
+The parser covers the constructs the ISPD-2018 technology LEFs use:
+``UNITS``, ``SITE``, routing/cut ``LAYER``, default ``VIA``, and ``MACRO``
+with ``PIN``/``PORT``/``RECT`` and ``OBS``.  Lengths in LEF are microns;
+everything is converted to integer DBU using ``DATABASE MICRONS``.
+"""
+
+from __future__ import annotations
+
+from repro.geom import Rect
+from repro.lefdef.lexer import TokenStream, tokenize
+from repro.tech import (
+    Layer,
+    LayerDirection,
+    Macro,
+    MacroPin,
+    PinDirection,
+    PinShape,
+    Site,
+    Technology,
+    ViaDef,
+)
+
+
+def parse_lef(text: str, name: str = "tech") -> Technology:
+    """Parse LEF source into a :class:`Technology`."""
+    stream = TokenStream(tokenize(text))
+    tech = Technology(name=name)
+    routing_index: dict[str, int] = {}
+    while not stream.at_end():
+        token = stream.next()
+        if token == "UNITS":
+            _parse_units(stream, tech)
+        elif token == "SITE":
+            _parse_site(stream, tech)
+        elif token == "LAYER":
+            _parse_layer(stream, tech, routing_index)
+        elif token == "VIA":
+            _parse_via(stream, tech, routing_index)
+        elif token == "MACRO":
+            _parse_macro(stream, tech, routing_index)
+        elif token == "END" and stream.peek() == "LIBRARY":
+            break
+        elif token in ("VERSION", "BUSBITCHARS", "DIVIDERCHAR", "MANUFACTURINGGRID"):
+            stream.skip_statement()
+        # anything else (PROPERTYDEFINITIONS etc.) is skipped token-by-token
+    return tech
+
+
+def _dbu(tech: Technology, microns: float) -> int:
+    return int(round(microns * tech.dbu_per_micron))
+
+
+def _parse_units(stream: TokenStream, tech: Technology) -> None:
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect("UNITS")
+            return
+        if token == "DATABASE":
+            stream.expect("MICRONS")
+            tech.dbu_per_micron = stream.next_int()
+            stream.expect(";")
+
+
+def _parse_site(stream: TokenStream, tech: Technology) -> None:
+    name = stream.next()
+    width = height = 0
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect(name)
+            break
+        if token == "SIZE":
+            w = stream.next_float()
+            stream.expect("BY")
+            h = stream.next_float()
+            stream.expect(";")
+            width, height = _dbu(tech, w), _dbu(tech, h)
+        elif token in ("SYMMETRY", "CLASS"):
+            stream.skip_statement()
+    tech.add_site(Site(name, width, height))
+
+
+def _parse_layer(
+    stream: TokenStream, tech: Technology, routing_index: dict[str, int]
+) -> None:
+    name = stream.next()
+    fields: dict[str, float] = {}
+    layer_type = ""
+    direction = LayerDirection.HORIZONTAL
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect(name)
+            break
+        if token == "TYPE":
+            layer_type = stream.next()
+            stream.expect(";")
+        elif token == "DIRECTION":
+            direction = LayerDirection(stream.next())
+            stream.expect(";")
+        elif token in ("PITCH", "WIDTH", "SPACING", "AREA", "OFFSET"):
+            fields[token] = stream.next_float()
+            stream.expect(";")
+        else:
+            stream.skip_statement()
+    if layer_type != "ROUTING":
+        return  # cut/masterslice layers carry no state we model
+    index = len(tech.layers)
+    routing_index[name] = index
+    pitch = _dbu(tech, fields.get("PITCH", 0.2))
+    tech.add_layer(
+        Layer(
+            name=name,
+            index=index,
+            direction=direction,
+            pitch=pitch,
+            width=_dbu(tech, fields.get("WIDTH", 0.06)),
+            spacing=_dbu(tech, fields.get("SPACING", 0.06)),
+            min_area=int(round(fields.get("AREA", 0.0) * tech.dbu_per_micron**2)),
+            offset=_dbu(tech, fields.get("OFFSET", 0.0)) or pitch // 2,
+        )
+    )
+
+
+def _parse_via(
+    stream: TokenStream, tech: Technology, routing_index: dict[str, int]
+) -> None:
+    name = stream.next()
+    if stream.peek() == "DEFAULT":
+        stream.next()
+    shapes: dict[str, Rect] = {}
+    current_layer = ""
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect(name)
+            break
+        if token == "LAYER":
+            current_layer = stream.next()
+            stream.expect(";")
+        elif token == "RECT":
+            lx = _dbu(tech, stream.next_float())
+            ly = _dbu(tech, stream.next_float())
+            ux = _dbu(tech, stream.next_float())
+            uy = _dbu(tech, stream.next_float())
+            stream.expect(";")
+            shapes[current_layer] = Rect(lx, ly, ux, uy)
+        else:
+            stream.skip_statement()
+    routing_layers = sorted(
+        (routing_index[lname] for lname in shapes if lname in routing_index)
+    )
+    if len(routing_layers) >= 2:
+        bottom = routing_layers[0]
+        bottom_name = tech.layers[bottom].name
+        top_name = tech.layers[routing_layers[-1]].name
+        tech.add_via(
+            ViaDef(
+                name=name,
+                bottom=bottom,
+                bottom_shape=shapes[bottom_name],
+                top_shape=shapes[top_name],
+            )
+        )
+
+
+def _parse_macro(
+    stream: TokenStream, tech: Technology, routing_index: dict[str, int]
+) -> None:
+    name = stream.next()
+    macro = Macro(name=name, width=0, height=0)
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect(name)
+            break
+        if token == "SIZE":
+            w = stream.next_float()
+            stream.expect("BY")
+            h = stream.next_float()
+            stream.expect(";")
+            macro.width, macro.height = _dbu(tech, w), _dbu(tech, h)
+        elif token == "SITE":
+            macro.site_name = stream.next()
+            stream.expect(";")
+        elif token == "PIN":
+            macro.add_pin(_parse_macro_pin(stream, tech, routing_index))
+        elif token == "OBS":
+            macro.obstructions.extend(_parse_obs(stream, tech, routing_index))
+        elif token in ("CLASS", "ORIGIN", "FOREIGN", "SYMMETRY"):
+            stream.skip_statement()
+    tech.add_macro(macro)
+
+
+def _parse_macro_pin(
+    stream: TokenStream, tech: Technology, routing_index: dict[str, int]
+) -> MacroPin:
+    name = stream.next()
+    pin = MacroPin(name=name, direction=PinDirection.INPUT)
+    while True:
+        token = stream.next()
+        if token == "END":
+            stream.expect(name)
+            return pin
+        if token == "DIRECTION":
+            pin.direction = PinDirection(stream.next())
+            stream.expect(";")
+        elif token == "PORT":
+            pin.shapes.extend(_parse_port(stream, tech, routing_index))
+        elif token in ("USE", "SHAPE", "ANTENNAGATEAREA", "ANTENNADIFFAREA"):
+            stream.skip_statement()
+
+
+def _parse_port(
+    stream: TokenStream, tech: Technology, routing_index: dict[str, int]
+) -> list[PinShape]:
+    shapes: list[PinShape] = []
+    current_layer = -1
+    while True:
+        token = stream.next()
+        if token == "END":
+            return shapes
+        if token == "LAYER":
+            current_layer = routing_index.get(stream.next(), -1)
+            stream.expect(";")
+        elif token == "RECT":
+            lx = _dbu(tech, stream.next_float())
+            ly = _dbu(tech, stream.next_float())
+            ux = _dbu(tech, stream.next_float())
+            uy = _dbu(tech, stream.next_float())
+            stream.expect(";")
+            if current_layer >= 0:
+                shapes.append(PinShape(current_layer, Rect(lx, ly, ux, uy)))
+        else:
+            stream.skip_statement()
+
+
+def _parse_obs(
+    stream: TokenStream, tech: Technology, routing_index: dict[str, int]
+) -> list[PinShape]:
+    # OBS bodies share the PORT grammar (LAYER/RECT lists ending at END).
+    return _parse_port(stream, tech, routing_index)
+
+
+# --------------------------------------------------------------------- writer
+
+
+def write_lef(tech: Technology) -> str:
+    """Emit ``tech`` as LEF text that :func:`parse_lef` round-trips."""
+    dbu = tech.dbu_per_micron
+
+    def um(value: int) -> str:
+        return f"{value / dbu:.4f}"
+
+    out: list[str] = [
+        "VERSION 5.8 ;",
+        "UNITS",
+        f"  DATABASE MICRONS {dbu} ;",
+        "END UNITS",
+    ]
+    for site in tech.sites.values():
+        out += [
+            f"SITE {site.name}",
+            "  CLASS CORE ;",
+            f"  SIZE {um(site.width)} BY {um(site.height)} ;",
+            f"END {site.name}",
+        ]
+    for layer in tech.layers:
+        out += [
+            f"LAYER {layer.name}",
+            "  TYPE ROUTING ;",
+            f"  DIRECTION {layer.direction.value} ;",
+            f"  PITCH {um(layer.pitch)} ;",
+            f"  WIDTH {um(layer.width)} ;",
+            f"  SPACING {um(layer.spacing)} ;",
+            f"  AREA {layer.min_area / dbu**2:.6f} ;",
+            f"  OFFSET {um(layer.offset)} ;",
+            f"END {layer.name}",
+        ]
+    for via in tech.vias:
+        bottom = tech.layers[via.bottom]
+        top = tech.layers[via.top]
+        b, t = via.bottom_shape, via.top_shape
+        out += [
+            f"VIA {via.name} DEFAULT",
+            f"  LAYER {bottom.name} ;",
+            f"    RECT {um(b.lx)} {um(b.ly)} {um(b.ux)} {um(b.uy)} ;",
+            f"  LAYER {top.name} ;",
+            f"    RECT {um(t.lx)} {um(t.ly)} {um(t.ux)} {um(t.uy)} ;",
+            f"END {via.name}",
+        ]
+    for macro in tech.macros.values():
+        out += [
+            f"MACRO {macro.name}",
+            "  CLASS CORE ;",
+            f"  SIZE {um(macro.width)} BY {um(macro.height)} ;",
+        ]
+        if macro.site_name:
+            out.append(f"  SITE {macro.site_name} ;")
+        for pin in macro.pins.values():
+            out += [
+                f"  PIN {pin.name}",
+                f"    DIRECTION {pin.direction.value} ;",
+                "    PORT",
+            ]
+            for shape in pin.shapes:
+                layer = tech.layers[shape.layer]
+                r = shape.rect
+                out.append(f"      LAYER {layer.name} ;")
+                out.append(
+                    f"        RECT {um(r.lx)} {um(r.ly)} {um(r.ux)} {um(r.uy)} ;"
+                )
+            out += ["    END", f"  END {pin.name}"]
+        if macro.obstructions:
+            out.append("  OBS")
+            for shape in macro.obstructions:
+                layer = tech.layers[shape.layer]
+                r = shape.rect
+                out.append(f"    LAYER {layer.name} ;")
+                out.append(
+                    f"      RECT {um(r.lx)} {um(r.ly)} {um(r.ux)} {um(r.uy)} ;"
+                )
+            out.append("  END")
+        out.append(f"END {macro.name}")
+    out.append("END LIBRARY")
+    return "\n".join(out) + "\n"

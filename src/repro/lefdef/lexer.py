@@ -1,0 +1,59 @@
+"""A whitespace tokenizer shared by the LEF and DEF parsers.
+
+LEF/DEF are whitespace-separated keyword languages; statements end with a
+``;`` token.  Comments start with ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+
+def tokenize(text: str) -> list[str]:
+    """Split LEF/DEF source into tokens, dropping comments.
+
+    ``;`` is always its own token even when glued to the previous word,
+    which is common in hand-written DEF.
+    """
+    tokens: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].replace(";", " ; ")
+        tokens.extend(line.split())
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with LEF/DEF-shaped helpers."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> str | None:
+        if self._pos >= len(self._tokens):
+            return None
+        return self._tokens[self._pos]
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValueError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise ValueError(f"expected {expected!r}, got {token!r} at {self._pos}")
+
+    def next_int(self) -> int:
+        return int(round(float(self.next())))
+
+    def next_float(self) -> float:
+        return float(self.next())
+
+    def skip_statement(self) -> None:
+        """Consume tokens up to and including the next ``;``."""
+        while self.next() != ";":
+            pass
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)

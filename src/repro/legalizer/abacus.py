@@ -1,0 +1,150 @@
+"""Abacus-style row legalizer.
+
+Cells are assigned to their nearest row, then each row is legalized by
+the Abacus cluster-collapse dynamic program: cells are inserted in x
+order and overlapping runs are merged into clusters placed at their
+weighted-mean optimal position, clamped into the row.  This gives much
+lower displacement than Tetris and is used when a high-quality initial
+legalization matters (the synthetic benchmarks are generated legal, so
+this is a substrate for experiments and tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db import Design, Row
+
+
+@dataclass(slots=True)
+class _Cluster:
+    """A maximal run of abutted cells in one row."""
+
+    x: float = 0.0
+    total_weight: float = 0.0
+    total_width: int = 0
+    q: float = 0.0
+    cells: list[str] = field(default_factory=list)
+
+    def add_cell(self, name: str, desired_x: float, width: int, weight: float) -> None:
+        self.cells.append(name)
+        self.q += weight * (desired_x - self.total_width)
+        self.total_weight += weight
+        self.total_width += width
+
+    def merge(self, other: "_Cluster") -> None:
+        self.q += other.q - other.total_weight * self.total_width
+        self.total_weight += other.total_weight
+        self.cells.extend(other.cells)
+        self.total_width += other.total_width
+
+    def optimal_x(self) -> float:
+        if self.total_weight == 0:
+            return self.x
+        return self.q / self.total_weight
+
+
+def abacus_legalize(design: Design) -> int:
+    """Legalize all movable cells; returns total displacement in DBU."""
+    if not design.rows:
+        raise ValueError("design has no rows")
+    assignment: dict[int, list[str]] = {i: [] for i in range(len(design.rows))}
+    free_width = [row.num_sites * row.site.width for row in design.rows]
+    for row_index, row in enumerate(design.rows):
+        for other in design.cells.values():
+            if other.fixed and other.bbox().intersects(row.bbox()):
+                overlap = other.bbox().intersection(row.bbox())
+                if overlap is not None:
+                    free_width[row_index] -= overlap.width
+    movable = sorted(
+        (c for c in design.cells.values() if not c.fixed),
+        key=lambda c: (c.x, c.name),
+    )
+    for cell in movable:
+        rows_by_distance = sorted(
+            range(len(design.rows)),
+            key=lambda i: (abs(design.rows[i].origin_y - cell.y), i),
+        )
+        placed = False
+        for row_index in rows_by_distance:
+            if free_width[row_index] >= cell.width:
+                assignment[row_index].append(cell.name)
+                free_width[row_index] -= cell.width
+                placed = True
+                break
+        if not placed:
+            raise RuntimeError(f"abacus: no row capacity for {cell.name}")
+
+    displacement = 0
+    for row_index, names in assignment.items():
+        row = design.rows[row_index]
+        names.sort(key=lambda n: design.cells[n].x)
+        placed = _legalize_row(design, row, names)
+        for name, x in placed.items():
+            cell = design.cells[name]
+            displacement += abs(cell.x - x) + abs(cell.y - row.origin_y)
+            design.move_cell(name, x, row.origin_y, row.orient)
+    return displacement
+
+
+def _legalize_row(design: Design, row: Row, names: list[str]) -> dict[str, int]:
+    """Abacus cluster collapse for one row; returns cell -> x."""
+    clusters: list[_Cluster] = []
+    row_lx = row.origin_x
+    row_ux = row.end_x
+
+    for name in names:
+        cell = design.cells[name]
+        cluster = _Cluster(x=float(cell.x))
+        cluster.add_cell(name, float(cell.x), cell.width, weight=1.0)
+        clusters.append(cluster)
+        _collapse(clusters, row_lx, row_ux)
+
+    result: dict[str, int] = {}
+    for cluster in clusters:
+        x = cluster.x
+        for name in cluster.cells:
+            snapped = row.snap_x(int(round(x)))
+            # ensure monotone non-overlapping placement after snapping
+            if result:
+                prev_name = next(reversed(result))
+                prev_cell = design.cells[prev_name]
+                min_x = result[prev_name] + prev_cell.width
+                if snapped < min_x:
+                    snapped = row.snap_x(min_x)
+                    if snapped < min_x:
+                        snapped += row.site.width
+            result[name] = snapped
+            x = snapped + design.cells[name].width
+    # Backward clamp: nothing may stick out past the row end (possible
+    # after snapping in a tightly packed row); capacity-checked
+    # assignment guarantees this pass always succeeds.
+    limit = row_ux
+    for name in reversed(result):
+        width = design.cells[name].width
+        if result[name] + width > limit:
+            over = result[name] + width - limit
+            sites = -(-over // row.site.width)
+            result[name] -= sites * row.site.width
+        limit = result[name]
+    return result
+
+
+def _collapse(clusters: list[_Cluster], row_lx: int, row_ux: int) -> None:
+    """Place the last cluster optimally; merge while it overlaps its left."""
+    cluster = clusters[-1]
+    cluster.x = min(
+        max(cluster.optimal_x(), float(row_lx)),
+        float(row_ux - cluster.total_width),
+    )
+    while len(clusters) > 1:
+        prev = clusters[-2]
+        if prev.x + prev.total_width <= cluster.x:
+            break
+        prev.merge(cluster)
+        clusters.pop()
+        cluster = prev
+        cluster.x = min(
+            max(cluster.optimal_x(), float(row_lx)),
+            float(row_ux - cluster.total_width),
+        )

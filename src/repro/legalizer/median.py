@@ -1,0 +1,36 @@
+"""Median (optimal-region) targets for cell movement.
+
+The legalizer cost (Eq. 11) pulls each cell toward its *median
+position*: the coordinate-wise median of the other terminals of its
+nets, which is the classic detailed-placement optimal region.
+"""
+
+from __future__ import annotations
+
+from repro.geom import Point
+from repro.db import Design
+
+
+def median_position(design: Design, cell_name: str) -> Point:
+    """Optimal-region center for ``cell_name``.
+
+    Collects the locations of every terminal on the cell's nets except
+    the terminals on the cell itself, and returns the coordinate-wise
+    median.  Falls back to the cell's current center when it has no
+    external connections.
+    """
+    cell = design.cells[cell_name]
+    xs: list[int] = []
+    ys: list[int] = []
+    for net in design.nets_of_cell(cell_name):
+        for pin in net.pins:
+            if pin.cell == cell_name:
+                continue
+            point = design.pin_point(pin)
+            xs.append(point.x)
+            ys.append(point.y)
+    if not xs:
+        return cell.center
+    xs.sort()
+    ys.sort()
+    return Point(xs[len(xs) // 2], ys[len(ys) // 2])

@@ -1,0 +1,98 @@
+"""Greedy (Tetris-style) full-design legalizer.
+
+Cells are processed left-to-right; each is snapped to the nearest free
+span of sites over all rows, minimizing displacement.  Quality is modest
+but the result is always legal — it seeds the flows and tests that need
+a legal starting placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geom import Rect
+from repro.db import Design
+
+
+def tetris_legalize(design: Design) -> int:
+    """Legalize all movable cells in place; returns total displacement.
+
+    Raises ``RuntimeError`` when some cell cannot be placed (the design
+    is over-full).
+    """
+    rows = design.rows
+    if not rows:
+        raise ValueError("design has no rows")
+    free: list[np.ndarray] = [np.ones(row.num_sites, dtype=bool) for row in rows]
+
+    for row_index, row in enumerate(rows):
+        band = row.bbox()
+        blocked = [b.rect for b in design.placement_blockages()] + [
+            design.cells[name].bbox()
+            for name in design.spatial.query(band)
+            if design.cells[name].fixed
+        ]
+        for box in blocked:
+            overlap = box.intersection(band)
+            if overlap is None or overlap.width == 0 or overlap.height == 0:
+                continue
+            s0 = max(0, (overlap.lx - row.origin_x) // row.site.width)
+            s1 = min(row.num_sites, -(-(overlap.ux - row.origin_x) // row.site.width))
+            free[row_index][s0:s1] = False
+
+    movable = sorted(
+        (c for c in design.cells.values() if not c.fixed), key=lambda c: (c.x, c.y)
+    )
+    total_displacement = 0
+    for cell in movable:
+        placement = _best_slot(design, free, cell)
+        if placement is None:
+            raise RuntimeError(f"tetris: no room for cell {cell.name}")
+        row_index, site_index, width_sites = placement
+        row = rows[row_index]
+        x = row.site_x(site_index)
+        y = row.origin_y
+        total_displacement += abs(cell.x - x) + abs(cell.y - y)
+        design.move_cell(cell.name, x, y, row.orient)
+        free[row_index][site_index : site_index + width_sites] = False
+    return total_displacement
+
+
+def _best_slot(design: Design, free: list[np.ndarray], cell):
+    """Nearest free span of sites for ``cell`` over all rows."""
+    best: tuple[int, int, int] | None = None
+    best_cost = float("inf")
+    for row_index, row in enumerate(design.rows):
+        width_sites = max(1, -(-cell.width // row.site.width))
+        if width_sites > row.num_sites:
+            continue
+        y_cost = abs(cell.y - row.origin_y)
+        if y_cost >= best_cost:
+            continue
+        spans = _free_spans(free[row_index], width_sites)
+        if not spans:
+            continue
+        want = round((cell.x - row.origin_x) / row.site.width)
+        for span_start, span_end in spans:
+            site = max(span_start, min(span_end - width_sites, want))
+            cost = abs(site - want) * row.site.width + y_cost
+            if cost < best_cost:
+                best_cost = cost
+                best = (row_index, site, width_sites)
+    return best
+
+
+def _free_spans(free: np.ndarray, min_len: int) -> list[tuple[int, int]]:
+    """Maximal runs of True at least ``min_len`` long, as (start, end)."""
+    spans: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, ok in enumerate(free):
+        if ok and start is None:
+            start = i
+        elif not ok and start is not None:
+            if i - start >= min_len:
+                spans.append((start, i))
+            start = None
+    if start is not None and len(free) - start >= min_len:
+        spans.append((start, len(free)))
+    return spans

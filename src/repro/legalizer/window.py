@@ -1,0 +1,365 @@
+"""The ILP-based window legalizer (Section IV.B.2, Eq. 11).
+
+Given a critical cell ``c``, the legalizer considers a local window of
+``n_rows`` rows by ``n_sites`` sites centered on ``c``.  Up to
+``max_cells`` cells (``c`` plus its nearest movable neighbours in the
+window) may move; everything else is an obstacle.  For each enumerated
+target position of ``c`` an ILP places the remaining movable cells on
+free sites minimizing displacement toward their median positions
+(Eq. 11), yielding one *legalized candidate*: a new position for ``c``
+plus the compensating moves of the conflict cells.
+
+The paper's defaults — ``|cells| = 3``, ``|sites| = 20``, ``|rows| = 5``
+— are the constructor defaults here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geom import Orientation, Point, Rect
+from repro.db import Design, Row
+from repro.ilp import IlpModel, Sense, solve
+from repro.legalizer.median import median_position
+
+
+@dataclass(slots=True)
+class LegalizedCandidate:
+    """One legalized outcome of moving a critical cell.
+
+    ``position`` is the critical cell's new placement;
+    ``conflict_moves`` maps each displaced neighbour to its new legal
+    placement; ``displacement`` is the Eq. 11 objective value.
+    """
+
+    cell: str
+    position: tuple[int, int, Orientation]
+    conflict_moves: dict[str, tuple[int, int, Orientation]] = field(
+        default_factory=dict
+    )
+    displacement: float = 0.0
+
+    @property
+    def is_current(self) -> bool:
+        return not self.conflict_moves and self.displacement == 0.0
+
+
+@dataclass(slots=True)
+class _WindowRow:
+    """One row's slice of the legalization window."""
+
+    row: Row
+    first_site: int
+    num_sites: int
+    free: np.ndarray  # bool per site in the window slice
+
+    def site_x(self, local_site: int) -> int:
+        return self.row.site_x(self.first_site + local_site)
+
+
+class WindowLegalizer:
+    """Generates legalized candidate positions for critical cells."""
+
+    def __init__(
+        self,
+        design: Design,
+        n_sites: int = 20,
+        n_rows: int = 5,
+        max_cells: int = 3,
+        max_targets: int = 8,
+        backend: str = "auto",
+    ) -> None:
+        self.design = design
+        self.n_sites = n_sites
+        self.n_rows = n_rows
+        self.max_cells = max_cells
+        self.max_targets = max_targets
+        self.backend = backend
+
+    # ------------------------------------------------------------------ API
+
+    def run(self, cell_name: str) -> list[LegalizedCandidate]:
+        """Candidate positions for ``cell_name`` (Algorithm 2, line 3).
+
+        Returns an empty list when the cell sits in no recognizable row
+        or the window has no legal target other than the current spot.
+        """
+        design = self.design
+        cell = design.cells[cell_name]
+        home_row = design.row_at_y(cell.y) or design.row_containing(cell.y)
+        if home_row is None:
+            return []
+
+        window_rows = self._window_rows(cell, home_row)
+        movable = self._pick_movable(cell_name, window_rows)
+        self._carve_free_space(window_rows, movable)
+
+        cell_sites = self._width_in_sites(cell.width, home_row.site.width)
+        target_positions = self._enumerate_targets(
+            cell_name, window_rows, cell_sites
+        )
+
+        candidates: list[LegalizedCandidate] = []
+        for row_slice, local_site in target_positions:
+            candidate = self._legalize_with_target(
+                cell_name, movable, window_rows, row_slice, local_site
+            )
+            if candidate is not None:
+                candidates.append(candidate)
+            if len(candidates) >= self.max_targets:
+                break
+        return candidates
+
+    # ------------------------------------------------------------- geometry
+
+    @staticmethod
+    def _width_in_sites(width: int, site_width: int) -> int:
+        return max(1, -(-width // site_width))
+
+    def _window_rows(self, cell, home_row: Row) -> list[_WindowRow]:
+        design = self.design
+        half_rows = self.n_rows // 2
+        lo = max(0, home_row.index - half_rows)
+        hi = min(len(design.rows), lo + self.n_rows)
+        lo = max(0, hi - self.n_rows)
+
+        half_span = (self.n_sites * home_row.site.width) // 2
+        window_lx = cell.x + cell.width // 2 - half_span
+
+        slices: list[_WindowRow] = []
+        for row in design.rows[lo:hi]:
+            first = max(0, row.site_index(window_lx))
+            count = min(self.n_sites, row.num_sites - first)
+            if count <= 0:
+                continue
+            slices.append(
+                _WindowRow(
+                    row=row,
+                    first_site=first,
+                    num_sites=count,
+                    free=np.ones(count, dtype=bool),
+                )
+            )
+        return slices
+
+    def _pick_movable(
+        self, cell_name: str, window_rows: list[_WindowRow]
+    ) -> list[str]:
+        """The critical cell plus its nearest movable window neighbours."""
+        design = self.design
+        cell = design.cells[cell_name]
+        window_box = self._window_bbox(window_rows)
+        neighbours: list[tuple[int, str]] = []
+        for name in design.spatial.query(window_box):
+            if name == cell_name:
+                continue
+            other = design.cells[name]
+            if other.fixed:
+                continue
+            if not window_box.contains_rect(other.bbox()):
+                continue
+            distance = cell.center.manhattan_to(other.center)
+            neighbours.append((distance, name))
+        neighbours.sort()
+        picked = [name for _, name in neighbours[: self.max_cells - 1]]
+        return [cell_name] + picked
+
+    @staticmethod
+    def _window_bbox(window_rows: list[_WindowRow]) -> Rect:
+        boxes = [
+            Rect(
+                s.row.site_x(s.first_site),
+                s.row.origin_y,
+                s.row.site_x(s.first_site + s.num_sites),
+                s.row.origin_y + s.row.height,
+            )
+            for s in window_rows
+        ]
+        return Rect.bounding(boxes)
+
+    def _carve_free_space(
+        self, window_rows: list[_WindowRow], movable: list[str]
+    ) -> None:
+        """Mark sites covered by obstacles (non-movable cells, blockages)."""
+        design = self.design
+        movable_set = set(movable)
+        window_box = self._window_bbox(window_rows)
+        obstacle_boxes = [
+            design.cells[name].bbox()
+            for name in design.spatial.query(window_box)
+            if name not in movable_set
+        ]
+        obstacle_boxes += [
+            b.rect for b in design.placement_blockages()
+            if b.rect.intersects(window_box)
+        ]
+        for row_slice in window_rows:
+            row = row_slice.row
+            row_band = Rect(
+                row.site_x(row_slice.first_site),
+                row.origin_y,
+                row.site_x(row_slice.first_site + row_slice.num_sites),
+                row.origin_y + row.height,
+            )
+            for box in obstacle_boxes:
+                overlap = box.intersection(row_band)
+                if overlap is None or overlap.width == 0 or overlap.height == 0:
+                    continue
+                s0 = (overlap.lx - row_band.lx) // row.site.width
+                s1 = -(-(overlap.ux - row_band.lx) // row.site.width)
+                row_slice.free[max(0, s0) : min(row_slice.num_sites, s1)] = False
+
+    # -------------------------------------------------------------- targets
+
+    def _enumerate_targets(
+        self,
+        cell_name: str,
+        window_rows: list[_WindowRow],
+        cell_sites: int,
+    ) -> list[tuple[_WindowRow, int]]:
+        """Feasible target slots for the critical cell, best-first.
+
+        A slot is feasible when ``cell_sites`` consecutive window sites
+        are free of *obstacles* (movable neighbours may still be there —
+        displacing them is exactly what the ILP resolves).  Slots are
+        ordered by Eq. 11 cost so the best candidates are tried first.
+        """
+        design = self.design
+        cell = design.cells[cell_name]
+        median = median_position(design, cell_name)
+        scored: list[tuple[float, int, _WindowRow, int]] = []
+        for order, row_slice in enumerate(window_rows):
+            for local in range(row_slice.num_sites - cell_sites + 1):
+                if not row_slice.free[local : local + cell_sites].all():
+                    continue
+                x = row_slice.site_x(local)
+                y = row_slice.row.origin_y
+                if x == cell.x and y == cell.y:
+                    continue
+                cost = abs(x - median.x) + abs(y - median.y)
+                scored.append((cost, order, row_slice, local))
+        scored.sort(key=lambda item: (item[0], item[1], item[3]))
+        return [(row_slice, local) for _, _, row_slice, local in scored]
+
+    # ------------------------------------------------------------------ ILP
+
+    def _legalize_with_target(
+        self,
+        cell_name: str,
+        movable: list[str],
+        window_rows: list[_WindowRow],
+        target_row: _WindowRow,
+        target_site: int,
+    ) -> LegalizedCandidate | None:
+        """Solve Eq. 11 with the critical cell pinned to one target slot."""
+        design = self.design
+        site_width = target_row.row.site.width
+        row_height = target_row.row.height
+
+        cell_sites = {
+            name: self._width_in_sites(design.cells[name].width, site_width)
+            for name in movable
+        }
+        medians = {name: median_position(design, name) for name in movable}
+
+        target_x = target_row.site_x(target_site)
+        target_y = target_row.row.origin_y
+
+        # Fast path: if the slot displaces no movable neighbour, the
+        # candidate is already legal — no ILP needed.
+        target_box = Rect(
+            target_x,
+            target_y,
+            target_x + design.cells[cell_name].width,
+            target_y + row_height,
+        )
+        displaced = [
+            name
+            for name in movable
+            if name != cell_name
+            and design.cells[name].bbox().intersects(target_box)
+        ]
+        if not displaced:
+            median = medians[cell_name]
+            return LegalizedCandidate(
+                cell=cell_name,
+                position=(target_x, target_y, target_row.row.orient),
+                conflict_moves={},
+                displacement=float(
+                    abs(target_x - median.x) + abs(target_y - median.y)
+                ),
+            )
+
+        model = IlpModel(f"legalize[{cell_name}]")
+        # slot coverage: (row index in window, local site) -> list of vars
+        coverage: dict[tuple[int, int], list[int]] = {}
+        placements: dict[int, tuple[str, int, int, Orientation]] = {}
+
+        for name in movable:
+            width_sites = cell_sites[name]
+            median = medians[name]
+            options: list[tuple[int, _WindowRow, int]] = []
+            for row_order, row_slice in enumerate(window_rows):
+                if name == cell_name and row_slice is not target_row:
+                    continue
+                for local in range(row_slice.num_sites - width_sites + 1):
+                    if name == cell_name and local != target_site:
+                        continue
+                    span = row_slice.free[local : local + width_sites]
+                    if not span.all():
+                        continue
+                    options.append((row_order, row_slice, local))
+            if not options:
+                return None
+            var_indices: list[int] = []
+            for row_order, row_slice, local in options:
+                x = row_slice.site_x(local)
+                y = row_slice.row.origin_y
+                # Eq. 11: site/row-granular displacement toward the median.
+                cost = (
+                    site_width * (abs(x - median.x) / site_width)
+                    + row_height * (abs(y - median.y) / row_height)
+                )
+                var = model.add_binary(
+                    f"y[{name}][{row_order}][{local}]", cost=cost
+                )
+                var_indices.append(var)
+                placements[var] = (name, x, y, row_slice.row.orient)
+                for covered in range(local, local + cell_sites[name]):
+                    coverage.setdefault((row_order, covered), []).append(var)
+            model.add_exactly_one(var_indices, name=f"place[{name}]")
+
+        for (row_order, local), vars_here in coverage.items():
+            if len(vars_here) > 1:
+                model.add_constraint(
+                    [(v, 1.0) for v in vars_here],
+                    Sense.LE,
+                    1.0,
+                    name=f"slot[{row_order}][{local}]",
+                )
+
+        solution = solve(model, backend=self.backend)
+        if not solution.ok:
+            return None
+
+        conflict_moves: dict[str, tuple[int, int, Orientation]] = {}
+        position: tuple[int, int, Orientation] | None = None
+        for var_name in solution.chosen():
+            name, x, y, orient = placements[model.var_index(var_name)]
+            cell = design.cells[name]
+            if name == cell_name:
+                position = (x, y, orient)
+            elif (x, y) != (cell.x, cell.y):
+                conflict_moves[name] = (x, y, orient)
+        if position is None:
+            return None
+        if position != (target_x, target_y, target_row.row.orient):
+            return None
+        return LegalizedCandidate(
+            cell=cell_name,
+            position=position,
+            conflict_moves=conflict_moves,
+            displacement=solution.objective,
+        )

@@ -1,0 +1,19 @@
+"""Technology (LEF-level) objects: sites, layers, vias, macros."""
+
+from repro.tech.layer import Layer, LayerDirection
+from repro.tech.site import Site
+from repro.tech.via import ViaDef
+from repro.tech.macro import Macro, MacroPin, PinDirection, PinShape
+from repro.tech.technology import Technology
+
+__all__ = [
+    "Layer",
+    "LayerDirection",
+    "Site",
+    "ViaDef",
+    "Macro",
+    "MacroPin",
+    "PinDirection",
+    "PinShape",
+    "Technology",
+]

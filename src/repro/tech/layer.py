@@ -1,0 +1,59 @@
+"""Routing and cut layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LayerDirection(Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "HORIZONTAL"
+    VERTICAL = "VERTICAL"
+
+    @property
+    def other(self) -> "LayerDirection":
+        if self is LayerDirection.HORIZONTAL:
+            return LayerDirection.VERTICAL
+        return LayerDirection.HORIZONTAL
+
+
+@dataclass(slots=True)
+class Layer:
+    """A metal (routing) layer.
+
+    ``index`` counts routing layers from 0 (lowest metal).  Cut layers are
+    implicit: a via connects routing layers ``i`` and ``i + 1``.
+
+    Attributes mirror the LEF fields the detailed router and DRC engine
+    need: ``pitch`` spaces the routing tracks, ``width`` is the default
+    wire width, ``spacing`` the minimum same-layer spacing, ``min_area``
+    the minimum metal polygon area, and ``offset`` the coordinate of track
+    0.
+    """
+
+    name: str
+    index: int
+    direction: LayerDirection
+    pitch: int
+    width: int
+    spacing: int
+    min_area: int = 0
+    offset: int = 0
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.direction is LayerDirection.HORIZONTAL
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.direction is LayerDirection.VERTICAL
+
+    def track_coord(self, track: int) -> int:
+        """DBU coordinate of track number ``track`` on this layer."""
+        return self.offset + track * self.pitch
+
+    def nearest_track(self, coord: int) -> int:
+        """Index of the track closest to ``coord`` (may be negative)."""
+        return round((coord - self.offset) / self.pitch)

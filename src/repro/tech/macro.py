@@ -1,0 +1,70 @@
+"""LEF macros (standard-cell masters) and their pins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.geom import Orientation, Rect, transform_rect
+
+
+class PinDirection(Enum):
+    """Signal direction of a macro pin."""
+
+    INPUT = "INPUT"
+    OUTPUT = "OUTPUT"
+    INOUT = "INOUT"
+
+
+@dataclass(frozen=True, slots=True)
+class PinShape:
+    """One rectangle of a pin's physical geometry on a routing layer."""
+
+    layer: int
+    rect: Rect
+
+
+@dataclass(slots=True)
+class MacroPin:
+    """A named pin of a macro with its physical shapes (macro-local)."""
+
+    name: str
+    direction: PinDirection
+    shapes: list[PinShape] = field(default_factory=list)
+
+    def bbox(self) -> Rect:
+        """Bounding box over all shapes (macro-local coordinates)."""
+        return Rect.bounding([s.rect for s in self.shapes])
+
+    def placed_shapes(
+        self, x: int, y: int, orient: Orientation, macro_w: int, macro_h: int
+    ) -> list[PinShape]:
+        """Shapes transformed into chip coordinates for a placement."""
+        return [
+            PinShape(s.layer, transform_rect(s.rect, orient, macro_w, macro_h).translated(x, y))
+            for s in self.shapes
+        ]
+
+
+@dataclass(slots=True)
+class Macro:
+    """A standard-cell master: size, pins, and routing obstructions."""
+
+    name: str
+    width: int
+    height: int
+    pins: dict[str, MacroPin] = field(default_factory=dict)
+    obstructions: list[PinShape] = field(default_factory=list)
+    site_name: str = ""
+
+    def add_pin(self, pin: MacroPin) -> None:
+        if pin.name in self.pins:
+            raise ValueError(f"macro {self.name}: duplicate pin {pin.name}")
+        self.pins[pin.name] = pin
+
+    def pin(self, name: str) -> MacroPin:
+        return self.pins[name]
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height

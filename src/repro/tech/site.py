@@ -1,0 +1,23 @@
+"""Placement sites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Site:
+    """A LEF SITE: the unit tile standard cells snap to.
+
+    ``width`` is the horizontal placement quantum (Eq. 7 of the paper);
+    ``height`` is the row height so cells align with power/ground rails
+    (Eq. 8).
+    """
+
+    name: str
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"site {self.name}: non-positive dimensions")

@@ -1,0 +1,25 @@
+"""Via definitions between adjacent routing layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geom import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class ViaDef:
+    """A default via connecting routing layer ``bottom`` to ``bottom + 1``.
+
+    ``bottom_shape`` / ``top_shape`` are the landing-pad rectangles
+    centered on the cut, expressed relative to the via's center point.
+    """
+
+    name: str
+    bottom: int
+    bottom_shape: Rect
+    top_shape: Rect
+
+    @property
+    def top(self) -> int:
+        return self.bottom + 1

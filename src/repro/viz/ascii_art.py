@@ -1,0 +1,87 @@
+"""ASCII renderings for quick flow inspection in a terminal."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import Design
+from repro.groute import GlobalRouter
+
+#: utilization thresholds and their glyphs, dense to sparse
+_LEVELS = ((0.9, "#"), (0.7, "+"), (0.4, "."), (0.0, " "))
+
+
+def congestion_heatmap(router: GlobalRouter) -> str:
+    """Render the GCell congestion map (north up, one char per GCell)."""
+    cmap = router.graph.congestion_map()
+    lines = []
+    for gy in reversed(range(cmap.shape[1])):
+        row = []
+        for gx in range(cmap.shape[0]):
+            value = cmap[gx, gy]
+            for threshold, glyph in _LEVELS:
+                if value > threshold or threshold == 0.0:
+                    row.append(glyph)
+                    break
+        lines.append("|" + "".join(row) + "|")
+    legend = "legend: '#'>90%  '+'>70%  '.'>40%  ' '<=40% utilization"
+    return "\n".join(lines + [legend])
+
+
+def layer_usage_table(router: GlobalRouter) -> str:
+    """Per-layer wire usage, capacity, and via counts."""
+    graph = router.graph
+    lines = [
+        f"{'layer':<8}{'dir':>4}{'used':>10}{'capacity':>10}{'util%':>8}{'vias':>8}"
+    ]
+    for layer in graph.tech.layers:
+        used = float(graph.wire_usage[layer.index].sum())
+        cap = float(graph.wire_capacity[layer.index].sum())
+        vias = (
+            int(graph.via_usage[layer.index].sum())
+            if layer.index < graph.num_layers - 1
+            else 0
+        )
+        util = 100.0 * used / cap if cap else 0.0
+        direction = "H" if layer.is_horizontal else "V"
+        lines.append(
+            f"{layer.name:<8}{direction:>4}{used:>10.0f}{cap:>10.0f}"
+            f"{util:>8.1f}{vias:>8}"
+        )
+    return "\n".join(lines)
+
+
+def placement_map(design: Design, width: int = 64) -> str:
+    """Coarse die map: cell density per character cell, blockages as 'X'."""
+    die = design.die
+    aspect = die.height / max(1, die.width)
+    height = max(4, int(width * aspect * 0.5))  # chars are ~2x tall
+    density = np.zeros((width, height), dtype=np.float64)
+    cell_w = die.width / width
+    cell_h = die.height / height
+    for cell in design.cells.values():
+        gx = min(width - 1, int((cell.x - die.lx) / cell_w))
+        gy = min(height - 1, int((cell.y - die.ly) / cell_h))
+        density[gx, gy] += cell.area
+    tile_area = cell_w * cell_h
+    blocked = np.zeros((width, height), dtype=bool)
+    for blockage in design.placement_blockages():
+        x0 = max(0, int((blockage.rect.lx - die.lx) / cell_w))
+        x1 = min(width - 1, int((blockage.rect.ux - die.lx) / cell_w))
+        y0 = max(0, int((blockage.rect.ly - die.ly) / cell_h))
+        y1 = min(height - 1, int((blockage.rect.uy - die.ly) / cell_h))
+        blocked[x0 : x1 + 1, y0 : y1 + 1] = True
+    lines = []
+    for gy in reversed(range(height)):
+        row = []
+        for gx in range(width):
+            if blocked[gx, gy]:
+                row.append("X")
+                continue
+            util = density[gx, gy] / tile_area
+            for threshold, glyph in _LEVELS:
+                if util > threshold or threshold == 0.0:
+                    row.append(glyph)
+                    break
+        lines.append("|" + "".join(row) + "|")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Shared fixtures: a small technology and hand-built tiny designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import build_tech
+from repro.benchgen.generator import DesignSpec, generate_design
+
+from helpers import add_cell, add_two_pin_net, build_tiny_design
+
+
+@pytest.fixture(scope="session")
+def tech45():
+    """The synthetic 45 nm technology (session-cached, treat as const)."""
+    return build_tech("45nm")
+
+
+@pytest.fixture(scope="session")
+def tech32():
+    return build_tech("32nm")
+
+
+@pytest.fixture()
+def tiny_design(tech45):
+    """Four cells in two rows with two nets — the workhorse fixture."""
+    design = build_tiny_design(tech45)
+    add_cell(design, "u1", "INV_X1", 0, 0)
+    add_cell(design, "u2", "NAND2_X1", 10, 0)
+    add_cell(design, "u3", "INV_X1", 4, 1)
+    add_cell(design, "u4", "DFF_X1", 18, 1)
+    add_two_pin_net(design, "n1", "u1", "u2")
+    add_two_pin_net(design, "n2", "u3", "u4", pin_b="D")
+    return design
+
+
+@pytest.fixture(scope="session")
+def small_generated():
+    """A generated ~60-cell design (session-cached; do not mutate)."""
+    spec = DesignSpec(
+        name="unit_small",
+        num_cells=60,
+        num_nets=50,
+        utilization=0.7,
+        gcells_per_axis=8,
+        num_iopins=4,
+        seed=42,
+    )
+    return generate_design(spec)

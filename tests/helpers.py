@@ -1,0 +1,72 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.geom import Orientation, Rect
+from repro.db import Cell, Design, Net, NetPin, Row
+from repro.db.design import GCellGridSpec
+from repro.benchgen.generator import DesignSpec, generate_design
+
+
+def build_tiny_design(tech, num_rows: int = 4, sites_per_row: int = 30) -> Design:
+    """An empty legal canvas: rows only, ready for manual cells/nets."""
+    site = tech.default_site()
+    die = Rect(0, 0, sites_per_row * site.width, num_rows * site.height)
+    design = Design("tiny", tech, die)
+    for r in range(num_rows):
+        design.add_row(
+            Row(
+                name=f"ROW_{r}",
+                site=site,
+                origin_x=0,
+                origin_y=r * site.height,
+                num_sites=sites_per_row,
+                orient=Orientation.for_row(r),
+            )
+        )
+    design.gcell_grid = GCellGridSpec(
+        origin_x=0,
+        origin_y=0,
+        step_x=die.width // 4,
+        step_y=die.height // 2,
+        nx=4,
+        ny=2,
+    )
+    return design
+
+
+def add_cell(design: Design, name: str, macro: str, site_index: int, row: int):
+    """Place one cell at a site/row, respecting row orientation."""
+    r = design.rows[row]
+    cell = Cell(
+        name=name,
+        macro=design.tech.macros[macro],
+        x=r.site_x(site_index),
+        y=r.origin_y,
+        orient=r.orient,
+    )
+    design.add_cell(cell)
+    return cell
+
+
+def add_two_pin_net(design: Design, name: str, a: str, b: str, pin_a="Y", pin_b="A"):
+    net = Net(name)
+    net.add_pin(NetPin(a, pin_a))
+    net.add_pin(NetPin(b, pin_b))
+    design.add_net(net)
+    return net
+
+
+def fresh_small(seed: int = 42, **overrides) -> Design:
+    """A fresh mutable copy of the small generated design."""
+    params = dict(
+        name="unit_small",
+        num_cells=60,
+        num_nets=50,
+        utilization=0.7,
+        gcells_per_axis=8,
+        num_iopins=4,
+        seed=seed,
+    )
+    params.update(overrides)
+    return generate_design(DesignSpec(**params))

@@ -1,0 +1,54 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table2(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "ispd18_test1" in out
+    assert "ispd18_test10" in out
+    assert "45nm" in out and "32nm" in out
+
+
+def test_run_requires_bench():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_run_skip_detailed(capsys):
+    assert main(["run", "-b", "ispd18_test1", "-m", "baseline", "--skip-detailed"]) == 0
+    out = capsys.readouterr().out
+    assert "ispd18_test1" in out
+
+
+def test_dump_writes_files(tmp_path, capsys):
+    assert main(["dump", "-b", "ispd18_test1", "-o", str(tmp_path)]) == 0
+    assert (tmp_path / "ispd18_test1.lef").exists()
+    assert (tmp_path / "ispd18_test1.def").exists()
+    assert (tmp_path / "ispd18_test1.guide").exists()
+    # Round-trip what we dumped.
+    from repro.lefdef import parse_def, parse_guides, parse_lef
+
+    tech = parse_lef((tmp_path / "ispd18_test1.lef").read_text())
+    design = parse_def((tmp_path / "ispd18_test1.def").read_text(), tech)
+    guides = parse_guides((tmp_path / "ispd18_test1.guide").read_text(), tech)
+    assert design.name == "ispd18_test1"
+    assert set(guides) <= set(design.nets)
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_show_renders_heatmap(tmp_path, capsys):
+    svg = tmp_path / "die.svg"
+    assert main(["show", "-b", "ispd18_test1", "--svg", str(svg)]) == 0
+    out = capsys.readouterr().out
+    assert "legend" in out
+    assert "Metal1" in out
+    assert svg.exists()
+    assert svg.read_text().startswith("<svg")

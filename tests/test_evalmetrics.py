@@ -1,0 +1,58 @@
+"""Unit tests for the ISPD-2018-style scorer."""
+
+import pytest
+
+from repro.droute.router import DetailedResult
+from repro.droute.drc import DrcKind, DrcViolation
+from repro.evalmetrics import EvalWeights, evaluate
+from repro.benchgen import build_tech
+
+
+def make_result(wl=10000, vias=10, shorts=0, min_area=0, opens=0):
+    result = DetailedResult(wirelength_dbu=wl, vias=vias)
+    for _ in range(shorts):
+        result.violations.append(
+            DrcViolation(DrcKind.SHORT, 1, "a", "b")
+        )
+    for _ in range(min_area):
+        result.violations.append(DrcViolation(DrcKind.MIN_AREA, 1, "a"))
+    for _ in range(opens):
+        result.violations.append(DrcViolation(DrcKind.OPEN, 0, "a"))
+    return result
+
+
+def test_score_weights(tech45):
+    score = evaluate("d", tech45, make_result(wl=2000, vias=3, shorts=2))
+    # 2000 DBU = 10 pitches of 200; 0.5*10 + 2*3 + 500*2
+    assert score.wirelength_units == pytest.approx(10.0)
+    assert score.score == pytest.approx(0.5 * 10 + 2.0 * 3 + 500.0 * 2)
+    assert score.drvs == 2
+    assert score.drv_breakdown == {"short": 2}
+
+
+def test_custom_weights(tech45):
+    weights = EvalWeights(wire=1.0, via=1.0, short=0.0)
+    score = evaluate("d", tech45, make_result(wl=200, vias=1, shorts=5), weights)
+    assert score.score == pytest.approx(1.0 + 1.0)
+
+
+def test_open_penalty_dominates(tech45):
+    with_open = evaluate("d", tech45, make_result(opens=1))
+    without = evaluate("d", tech45, make_result())
+    assert with_open.score - without.score == pytest.approx(1500.0)
+
+
+def test_improvement_over(tech45):
+    base = evaluate("d", tech45, make_result(wl=10000, vias=100))
+    better = evaluate("d", tech45, make_result(wl=9900, vias=90))
+    imp = better.improvement_over(base)
+    assert imp["wirelength"] == pytest.approx(1.0)
+    assert imp["vias"] == pytest.approx(10.0)
+    assert imp["drvs"] == 0
+
+
+def test_improvement_zero_baseline(tech45):
+    base = evaluate("d", tech45, make_result(wl=0, vias=0))
+    other = evaluate("d", tech45, make_result(wl=100, vias=1))
+    imp = other.improvement_over(base)
+    assert imp["wirelength"] == 0.0

@@ -1,0 +1,46 @@
+"""Tests for the programmatic experiments API and convergence mode."""
+
+import pytest
+
+from repro.groute import GlobalRouter
+from repro.core import CrpConfig, CrpFramework
+
+from helpers import fresh_small
+
+
+def test_run_until_converged_stops():
+    design = fresh_small(seed=3)
+    router = GlobalRouter(design)
+    router.route_all()
+    framework = CrpFramework(design, router, CrpConfig(seed=1, max_targets=3))
+    result = framework.run_until_converged(max_iterations=6, min_gain=0.01, patience=1)
+    assert 1 <= len(result.iterations) <= 6
+
+
+def test_run_until_converged_does_not_regress():
+    design = fresh_small(seed=3)
+    router = GlobalRouter(design)
+    router.route_all()
+    before = sum(router.net_cost(n) for n in design.nets)
+    framework = CrpFramework(design, router, CrpConfig(seed=1, max_targets=3))
+    framework.run_until_converged(max_iterations=4, patience=1)
+    after = sum(router.net_cost(n) for n in design.nets)
+    assert after <= before * 1.001
+
+
+def test_table3_row_api():
+    # Use the smallest suite design to keep this an actual unit test.
+    from repro.flow import fig2_runtimes, fig3_breakdown, table3_row
+
+    row = table3_row("ispd18_test1", k10=2)
+    assert row.baseline.quality is not None
+    imps = row.improvements()
+    assert set(imps) == {"fontana", "crp_k1", "crp_k10"}
+    for values in imps.values():
+        if values is not None:
+            assert {"wirelength", "vias", "drvs", "score"} <= set(values)
+    runtimes = fig2_runtimes(row)
+    assert runtimes.seconds["baseline"] > 0
+    breakdown = fig3_breakdown(row)
+    assert breakdown["ECC"] >= 0
+    assert sum(breakdown.values()) == pytest.approx(100.0, abs=0.1)

@@ -1,0 +1,74 @@
+"""Unit tests for orientations and shape transforms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geom import Orientation, Rect, transform_rect
+
+MACRO_W, MACRO_H = 400, 1400
+
+
+def test_for_row_alternates():
+    assert Orientation.for_row(0) is Orientation.N
+    assert Orientation.for_row(1) is Orientation.FS
+    assert Orientation.for_row(2) is Orientation.N
+
+
+def test_north_is_identity():
+    shape = Rect(10, 20, 30, 40)
+    assert transform_rect(shape, Orientation.N, MACRO_W, MACRO_H) == shape
+
+
+def test_fs_flips_vertically():
+    shape = Rect(10, 0, 30, 100)
+    out = transform_rect(shape, Orientation.FS, MACRO_W, MACRO_H)
+    assert out == Rect(10, MACRO_H - 100, 30, MACRO_H)
+
+
+def test_s_rotates_180():
+    shape = Rect(0, 0, 100, 200)
+    out = transform_rect(shape, Orientation.S, MACRO_W, MACRO_H)
+    assert out == Rect(MACRO_W - 100, MACRO_H - 200, MACRO_W, MACRO_H)
+
+
+def test_fn_flips_horizontally():
+    shape = Rect(0, 10, 100, 20)
+    out = transform_rect(shape, Orientation.FN, MACRO_W, MACRO_H)
+    assert out == Rect(MACRO_W - 100, 10, MACRO_W, 20)
+
+
+def test_rotations_swap_axes():
+    for orient in (Orientation.W, Orientation.E, Orientation.FW, Orientation.FE):
+        assert orient.swaps_axes
+    for orient in (Orientation.N, Orientation.S, Orientation.FN, Orientation.FS):
+        assert not orient.swaps_axes
+
+
+@st.composite
+def shapes(draw):
+    lx = draw(st.integers(0, MACRO_W - 1))
+    ly = draw(st.integers(0, MACRO_H - 1))
+    ux = draw(st.integers(lx, MACRO_W))
+    uy = draw(st.integers(ly, MACRO_H))
+    return Rect(lx, ly, ux, uy)
+
+
+@given(shapes(), st.sampled_from(list(Orientation)))
+def test_transform_preserves_area(shape, orient):
+    out = transform_rect(shape, orient, MACRO_W, MACRO_H)
+    assert out.area == shape.area
+
+
+@given(shapes(), st.sampled_from([Orientation.N, Orientation.S, Orientation.FN, Orientation.FS]))
+def test_non_rotating_transform_stays_in_macro(shape, orient):
+    out = transform_rect(shape, orient, MACRO_W, MACRO_H)
+    assert 0 <= out.lx <= out.ux <= MACRO_W
+    assert 0 <= out.ly <= out.uy <= MACRO_H
+
+
+@given(shapes())
+def test_double_flip_is_identity(shape):
+    once = transform_rect(shape, Orientation.FS, MACRO_W, MACRO_H)
+    twice = transform_rect(once, Orientation.FS, MACRO_W, MACRO_H)
+    assert twice == shape

@@ -1,0 +1,44 @@
+"""Unit tests for repro.geom.point."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geom import Point, manhattan
+
+coords = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+def test_translated():
+    assert Point(1, 2).translated(3, -5) == Point(4, -3)
+
+
+def test_manhattan_to():
+    assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+
+
+def test_as_tuple():
+    assert Point(7, 9).as_tuple() == (7, 9)
+
+
+def test_points_are_hashable_and_ordered():
+    assert len({Point(1, 1), Point(1, 1), Point(1, 2)}) == 2
+    assert Point(1, 2) < Point(2, 0)
+
+
+def test_points_are_immutable():
+    with pytest.raises(AttributeError):
+        Point(0, 0).x = 5  # type: ignore[misc]
+
+
+@given(coords, coords, coords, coords)
+def test_manhattan_symmetry(ax, ay, bx, by):
+    a, b = Point(ax, ay), Point(bx, by)
+    assert manhattan(a, b) == manhattan(b, a)
+    assert manhattan(a, a) == 0
+
+
+@given(coords, coords, coords, coords, coords, coords)
+def test_manhattan_triangle_inequality(ax, ay, bx, by, cx, cy):
+    a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+    assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.geom.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geom import Point, Rect
+
+coords = st.integers(min_value=-(10**5), max_value=10**5)
+
+
+@st.composite
+def rects(draw):
+    lx = draw(coords)
+    ly = draw(coords)
+    w = draw(st.integers(min_value=0, max_value=10**4))
+    h = draw(st.integers(min_value=0, max_value=10**4))
+    return Rect(lx, ly, lx + w, ly + h)
+
+
+def test_malformed_rect_rejected():
+    with pytest.raises(ValueError):
+        Rect(10, 0, 0, 10)
+    with pytest.raises(ValueError):
+        Rect(0, 10, 10, 0)
+
+
+def test_basic_properties():
+    r = Rect(0, 0, 10, 4)
+    assert r.width == 10
+    assert r.height == 4
+    assert r.area == 40
+    assert r.center == Point(5, 2)
+
+
+def test_degenerate_rect_allowed():
+    r = Rect(5, 5, 5, 9)
+    assert r.width == 0
+    assert r.area == 0
+
+
+def test_contains_point_boundary():
+    r = Rect(0, 0, 10, 10)
+    assert r.contains_point(Point(0, 0))
+    assert not r.contains_point(Point(0, 0), strict=True)
+    assert r.contains_point(Point(5, 5), strict=True)
+
+
+def test_intersects_strict_vs_touching():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(10, 0, 20, 10)  # abutting
+    assert not a.intersects(b)  # strict: abutment is not overlap
+    assert a.intersects(b, strict=False)
+    c = Rect(9, 0, 20, 10)
+    assert a.intersects(c)
+
+
+def test_intersection_and_union():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 15, 15)
+    assert a.intersection(b) == Rect(5, 5, 10, 10)
+    assert a.union(b) == Rect(0, 0, 15, 15)
+    assert a.intersection(Rect(20, 20, 30, 30)) is None
+
+
+def test_translated_and_inflated():
+    r = Rect(1, 1, 3, 3)
+    assert r.translated(2, -1) == Rect(3, 0, 5, 2)
+    assert r.inflated(1) == Rect(0, 0, 4, 4)
+
+
+def test_bounding_and_from_points():
+    assert Rect.bounding([Rect(0, 0, 1, 1), Rect(5, 5, 6, 8)]) == Rect(0, 0, 6, 8)
+    assert Rect.from_points(Point(5, 1), Point(2, 7)) == Rect(2, 1, 5, 7)
+    with pytest.raises(ValueError):
+        Rect.bounding([])
+
+
+def test_contains_rect():
+    outer = Rect(0, 0, 100, 100)
+    assert outer.contains_rect(Rect(0, 0, 100, 100))
+    assert outer.contains_rect(Rect(10, 10, 20, 20))
+    assert not outer.contains_rect(Rect(90, 90, 110, 100))
+
+
+@given(rects(), rects())
+def test_intersection_commutative(a, b):
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(rects(), rects())
+def test_intersection_inside_both(a, b):
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains_rect(inter)
+        assert b.contains_rect(inter)
+
+
+@given(rects(), rects())
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains_rect(a)
+    assert u.contains_rect(b)
+
+
+@given(rects())
+def test_inflate_then_area_grows(r):
+    grown = r.inflated(3)
+    assert grown.area >= r.area
+    assert grown.contains_rect(r)

@@ -1,0 +1,148 @@
+"""Unit and property tests for the ILP substrate (all three backends)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import IlpModel, Sense, SolveStatus, solve
+
+BACKENDS = ("scipy", "bnb", "exhaustive")
+
+
+def knapsack_model():
+    """max value knapsack as min of negated values."""
+    model = IlpModel("knapsack")
+    items = [(-60, 10), (-100, 20), (-120, 30)]
+    vars_ = [model.add_binary(f"x{i}", cost=v) for i, (v, _) in enumerate(items)]
+    model.add_constraint(
+        [(x, w) for x, (_, w) in zip(vars_, items)], Sense.LE, 50.0, "cap"
+    )
+    return model
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_knapsack_optimum(backend):
+    solution = solve(knapsack_model(), backend=backend)
+    assert solution.ok
+    assert solution.objective == pytest.approx(-220.0)
+    assert solution.chosen() == ["x1", "x2"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_infeasible_detected(backend):
+    model = IlpModel()
+    x = model.add_binary("x")
+    model.add_constraint([(x, 1.0)], Sense.GE, 2.0)
+    assert solve(model, backend=backend).status is SolveStatus.INFEASIBLE
+
+
+@pytest.mark.parametrize("backend", ("scipy", "bnb"))
+def test_empty_model(backend):
+    model = IlpModel()
+    solution = solve(model, backend=backend)
+    assert solution.ok
+    assert solution.objective == 0.0
+
+
+def test_exactly_one_convenience():
+    model = IlpModel()
+    a = model.add_binary("a", cost=5.0)
+    b = model.add_binary("b", cost=3.0)
+    c = model.add_binary("c", cost=9.0)
+    model.add_exactly_one([a, b, c])
+    solution = solve(model)
+    assert solution.chosen() == ["b"]
+
+
+def test_duplicate_variable_rejected():
+    model = IlpModel()
+    model.add_binary("x")
+    with pytest.raises(ValueError):
+        model.add_binary("x")
+
+
+def test_constraint_unknown_variable_rejected():
+    model = IlpModel()
+    with pytest.raises(ValueError):
+        model.add_constraint([(3, 1.0)], Sense.LE, 1.0)
+
+
+def test_exhaustive_rejects_large_models():
+    model = IlpModel()
+    for i in range(30):
+        model.add_binary(f"x{i}")
+    with pytest.raises(ValueError):
+        solve(model, backend="exhaustive")
+
+
+def test_exhaustive_rejects_non_binary():
+    model = IlpModel()
+    model.add_variable("x", lower=0.0, upper=5.0)
+    with pytest.raises(ValueError):
+        solve(model, backend="exhaustive")
+
+
+def test_is_feasible_checks_everything():
+    model = IlpModel()
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    model.add_constraint([(x, 1.0), (y, 1.0)], Sense.EQ, 1.0)
+    assert model.is_feasible([1.0, 0.0])
+    assert not model.is_feasible([1.0, 1.0])
+    assert not model.is_feasible([0.5, 0.5])  # integrality
+    assert not model.is_feasible([2.0, -1.0])  # bounds
+
+
+def test_unknown_backend():
+    with pytest.raises(ValueError):
+        solve(IlpModel(), backend="cplex")
+
+
+@st.composite
+def random_models(draw):
+    """Small random assignment-flavoured ILPs."""
+    n_groups = draw(st.integers(1, 3))
+    per_group = draw(st.integers(1, 3))
+    model = IlpModel("random")
+    groups = []
+    for g in range(n_groups):
+        vars_ = [
+            model.add_binary(
+                f"y{g}_{i}",
+                cost=draw(
+                    st.floats(min_value=0, max_value=100, allow_nan=False)
+                ),
+            )
+            for i in range(per_group)
+        ]
+        model.add_exactly_one(vars_)
+        groups.append(vars_)
+    # Random LE couplings
+    all_vars = [v for vs in groups for v in vs]
+    if len(all_vars) >= 2:
+        n_extra = draw(st.integers(0, 3))
+        for _ in range(n_extra):
+            chosen = draw(
+                st.lists(
+                    st.sampled_from(all_vars), min_size=2, max_size=4, unique=True
+                )
+            )
+            model.add_constraint([(v, 1.0) for v in chosen], Sense.LE, 1.0)
+    return model
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_models())
+def test_backends_agree(model):
+    """HiGHS, branch-and-bound, and enumeration find the same optimum."""
+    results = {}
+    for backend in BACKENDS:
+        results[backend] = solve(model, backend=backend)
+    statuses = {backend: r.status for backend, r in results.items()}
+    assert len(set(statuses.values())) == 1, statuses
+    if results["scipy"].ok:
+        objectives = [r.objective for r in results.values()]
+        assert max(objectives) - min(objectives) < 1e-6
+        for r in results.values():
+            values = [r.values[v.name] for v in model.variables]
+            assert model.is_feasible(values)
