@@ -36,4 +36,5 @@ __all__ = [
     "benchgen",
     "flow",
     "viz",
+    "obs",
 ]

@@ -3,9 +3,13 @@
 Subcommands:
 
 * ``crp table2`` — print the synthetic suite statistics (Table II).
-* ``crp run -b ispd18_test2 -m crp -k 10`` — one flow run.
+* ``crp run -b ispd18_test2 -m crp -k 10`` — one flow run; add
+  ``--profile`` for the span tree and ``--trace-out trace.json`` for a
+  machine-readable trace.
 * ``crp suite -b ispd18_test1 ispd18_test2`` — Table III rows for the
   given designs (baseline, [18], CR&P k=1, CR&P k=10).
+* ``crp profile ispd18_test1`` — run the flow under full observation,
+  print the per-stage span tree + metrics, and write ``BENCH_obs.json``.
 * ``crp dump -b ispd18_test2 -o outdir`` — write LEF/DEF/guides for a
   synthetic benchmark.
 """
@@ -33,6 +37,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument("-k", "--iterations", type=int, default=1)
     p_run.add_argument("--skip-detailed", action="store_true")
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage span tree and metrics after the run",
+    )
+    p_run.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the JSON span trace (+ metrics) to this path",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a flow under full observation and emit BENCH_obs.json",
+    )
+    p_profile.add_argument("bench", nargs="+", help="benchmark design name(s)")
+    p_profile.add_argument(
+        "-m", "--mode", default="crp", choices=("baseline", "crp", "fontana")
+    )
+    p_profile.add_argument("-k", "--iterations", type=int, default=1)
+    p_profile.add_argument("--skip-detailed", action="store_true")
+    p_profile.add_argument(
+        "-o", "--out", default="BENCH_obs.json",
+        help="output document path (default: BENCH_obs.json)",
+    )
 
     p_suite = sub.add_parser("suite", help="Table III rows for designs")
     p_suite.add_argument("-b", "--bench", nargs="+", required=True)
@@ -55,6 +82,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_table2()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "suite":
         return _cmd_suite(args)
     if args.command == "dump":
@@ -96,6 +125,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"drvs={result.quality.drv_breakdown}"
         )
     print(f"  runtime: {({k: round(v, 2) for k, v in result.runtime.items()})}")
+    if args.profile and result.trace is not None:
+        from repro.obs import render_metrics, render_tree
+
+        print()
+        print(render_tree(result.trace))
+        print()
+        print(render_metrics(result.metrics or {}))
+    if args.trace_out and result.trace is not None:
+        from repro.obs import write_trace
+
+        path = write_trace(
+            args.trace_out,
+            [result.trace],
+            result.metrics,
+            extra={"design": result.design, "mode": result.mode},
+        )
+        print(f"wrote trace to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import profile_flow, write_bench_obs
+
+    reports = []
+    for bench in args.bench:
+        report = profile_flow(
+            bench,
+            mode=args.mode,
+            iterations=args.iterations,
+            skip_detailed=args.skip_detailed,
+        )
+        reports.append(report)
+        print(report.render())
+        print()
+    path = write_bench_obs(reports, args.out)
+    print(f"wrote {path}")
     return 0
 
 

@@ -1,15 +1,19 @@
 """The CR&P iteration driver.
 
 Runs the five-step loop ``k`` times between global routing and detailed
-routing, instrumenting per-step wall-clock so the Fig. 3 runtime
-breakdown (GCP / ECC / ILP / UD) can be regenerated.
+routing.  Each step runs inside a ``repro.obs`` span (``crp.label``,
+``crp.GCP``, ``crp.ECC``, ``crp.ILP``, ``crp.UD`` under a
+``crp.iteration`` parent), and ``IterationStats.runtime`` is populated
+from those span wall times — one source of truth for the Fig. 3
+runtime breakdown (GCP / ECC / ILP / UD).
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
+
+from repro.obs import ensure_tracer, get_metrics
 
 from repro.db import Design
 from repro.groute import GlobalRouter
@@ -134,43 +138,55 @@ class CrpFramework:
         return sum(self.router.net_cost(name) for name in self.design.nets)
 
     def run_iteration(self, index: int = 0) -> IterationStats:
-        """One pass of the five CR&P steps."""
+        """One pass of the five CR&P steps, each under its own span."""
         stats = IterationStats(iteration=index)
         config = self.config
+        with ensure_tracer() as tracer, tracer.span(
+            "crp.iteration", k=index
+        ):
+            with tracer.span("crp.label") as sp:
+                critical = label_critical_cells(
+                    self.design, self.router, config, self._rng
+                )
+            stats.runtime["label"] = sp.wall_s
+            stats.num_critical = len(critical)
 
-        t0 = time.perf_counter()
-        critical = label_critical_cells(
-            self.design, self.router, config, self._rng
-        )
-        stats.runtime["label"] = time.perf_counter() - t0
-        stats.num_critical = len(critical)
+            with tracer.span("crp.GCP") as sp:
+                candidates = generate_candidates(self.design, critical, config)
+            stats.runtime["GCP"] = sp.wall_s
+            stats.num_candidates = sum(len(c) for c in candidates.values())
 
-        t0 = time.perf_counter()
-        candidates = generate_candidates(self.design, critical, config)
-        stats.runtime["GCP"] = time.perf_counter() - t0
-        stats.num_candidates = sum(len(c) for c in candidates.values())
+            with tracer.span("crp.ECC") as sp:
+                routing_cost_model = self.router.pattern3d.cost
+                self.router.pattern3d.cost = self._estimate_cost_model
+                try:
+                    for cell_candidates in candidates.values():
+                        for candidate in cell_candidates:
+                            candidate.route_cost = estimate_candidate_cost(
+                                self.design, self.router, candidate
+                            )
+                finally:
+                    self.router.pattern3d.cost = routing_cost_model
+            stats.runtime["ECC"] = sp.wall_s
 
-        t0 = time.perf_counter()
-        routing_cost_model = self.router.pattern3d.cost
-        self.router.pattern3d.cost = self._estimate_cost_model
-        try:
-            for cell_candidates in candidates.values():
-                for candidate in cell_candidates:
-                    candidate.route_cost = estimate_candidate_cost(
-                        self.design, self.router, candidate
-                    )
-        finally:
-            self.router.pattern3d.cost = routing_cost_model
-        stats.runtime["ECC"] = time.perf_counter() - t0
+            with tracer.span("crp.ILP") as sp:
+                chosen = select_moves(
+                    self.design, candidates, backend=config.ilp_backend
+                )
+            stats.runtime["ILP"] = sp.wall_s
 
-        t0 = time.perf_counter()
-        chosen = select_moves(self.design, candidates, backend=config.ilp_backend)
-        stats.runtime["ILP"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        update = apply_moves(self.design, self.router, chosen)
-        stats.runtime["UD"] = time.perf_counter() - t0
+            with tracer.span("crp.UD") as sp:
+                update = apply_moves(self.design, self.router, chosen)
+            stats.runtime["UD"] = sp.wall_s
         stats.num_moved = len(update.moved_cells)
         stats.num_rerouted = len(update.rerouted_nets)
         stats.displacement = update.total_displacement
+
+        metrics = get_metrics()
+        metrics.count("crp.iterations")
+        metrics.count("crp.critical_cells", stats.num_critical)
+        metrics.count("crp.candidates", stats.num_candidates)
+        metrics.count("crp.cells_moved", stats.num_moved)
+        metrics.count("crp.rerouted_nets", stats.num_rerouted)
+        metrics.observe("crp.displacement_dbu", stats.displacement)
         return stats

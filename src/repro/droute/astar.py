@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.droute.lattice import LNode, TrackLattice
 from repro.droute.obstacles import BLOCKED
+from repro.obs import get_metrics
 
 
 @dataclass(slots=True)
@@ -118,70 +119,77 @@ def astar_connect(
     if soft:
         max_expansions = int(max_expansions * params.soft_budget_factor)
 
-    while heap and expansions < max_expansions:
-        _, _, g, node = heappop(heap)
-        if g > g_score.get(node, float("inf")):
-            continue
-        expansions += 1
-        if node in targets:
-            return _build_result(node, came_from, g, net, owner, occupancy)
-        layer, ix, iy = node
+    # Expansion counts are tallied locally and recorded once in the
+    # ``finally`` — the hot loop itself carries no instrumentation.
+    try:
+        while heap and expansions < max_expansions:
+            _, _, g, node = heappop(heap)
+            if g > g_score.get(node, float("inf")):
+                continue
+            expansions += 1
+            if node in targets:
+                return _build_result(node, came_from, g, net, owner, occupancy)
+            layer, ix, iy = node
 
-        candidates: list[tuple[LNode, float]] = []
-        if layer >= min_wire:
-            if horiz[layer]:
-                if ix < ix1:
-                    candidates.append(((layer, ix + 1, iy), pitch))
-                if ix > ix0:
-                    candidates.append(((layer, ix - 1, iy), pitch))
-                if iy < iy1:
-                    candidates.append(((layer, ix, iy + 1), jog_cost))
-                if iy > iy0:
-                    candidates.append(((layer, ix, iy - 1), jog_cost))
-            else:
-                if iy < iy1:
-                    candidates.append(((layer, ix, iy + 1), pitch))
-                if iy > iy0:
-                    candidates.append(((layer, ix, iy - 1), pitch))
-                if ix < ix1:
-                    candidates.append(((layer, ix + 1, iy), jog_cost))
-                if ix > ix0:
-                    candidates.append(((layer, ix - 1, iy), jog_cost))
-        if layer + 1 < num_layers:
-            candidates.append(((layer + 1, ix, iy), via_cost))
-        if layer > 0:
-            candidates.append(((layer - 1, ix, iy), via_cost))
-
-        for neighbour, step in candidates:
-            holder = owner_get(neighbour)
-            if holder is not None and holder != net:
-                if holder is BLOCKED or holder == BLOCKED:
-                    if neighbour not in targets:
-                        continue
-                elif not soft and neighbour not in targets:
-                    continue
+            candidates: list[tuple[LNode, float]] = []
+            if layer >= min_wire:
+                if horiz[layer]:
+                    if ix < ix1:
+                        candidates.append(((layer, ix + 1, iy), pitch))
+                    if ix > ix0:
+                        candidates.append(((layer, ix - 1, iy), pitch))
+                    if iy < iy1:
+                        candidates.append(((layer, ix, iy + 1), jog_cost))
+                    if iy > iy0:
+                        candidates.append(((layer, ix, iy - 1), jog_cost))
                 else:
-                    step += conflict_penalty
-            else:
-                occ = occupancy_get(neighbour)
-                if occ is not None and occ != net:
-                    if not soft and neighbour not in targets:
+                    if iy < iy1:
+                        candidates.append(((layer, ix, iy + 1), pitch))
+                    if iy > iy0:
+                        candidates.append(((layer, ix, iy - 1), pitch))
+                    if ix < ix1:
+                        candidates.append(((layer, ix + 1, iy), jog_cost))
+                    if ix > ix0:
+                        candidates.append(((layer, ix - 1, iy), jog_cost))
+            if layer + 1 < num_layers:
+                candidates.append(((layer + 1, ix, iy), via_cost))
+            if layer > 0:
+                candidates.append(((layer - 1, ix, iy), via_cost))
+
+            for neighbour, step in candidates:
+                holder = owner_get(neighbour)
+                if holder is not None and holder != net:
+                    if holder is BLOCKED or holder == BLOCKED:
+                        if neighbour not in targets:
+                            continue
+                    elif not soft and neighbour not in targets:
                         continue
-                    step += conflict_penalty
-            if guide_nodes is not None and neighbour not in guide_nodes:
-                if not soft:
-                    continue
-                step += off_guide_penalty
-            tentative = g + step
-            if tentative < g_score.get(neighbour, float("inf")) - 1e-9:
-                g_score[neighbour] = tentative
-                came_from[neighbour] = node
-                heappush(
-                    heap,
-                    (tentative + heuristic(*neighbour), tie, tentative, neighbour),
-                )
-                tie += 1
-    return None
+                    else:
+                        step += conflict_penalty
+                else:
+                    occ = occupancy_get(neighbour)
+                    if occ is not None and occ != net:
+                        if not soft and neighbour not in targets:
+                            continue
+                        step += conflict_penalty
+                if guide_nodes is not None and neighbour not in guide_nodes:
+                    if not soft:
+                        continue
+                    step += off_guide_penalty
+                tentative = g + step
+                if tentative < g_score.get(neighbour, float("inf")) - 1e-9:
+                    g_score[neighbour] = tentative
+                    came_from[neighbour] = node
+                    heappush(
+                        heap,
+                        (tentative + heuristic(*neighbour), tie, tentative, neighbour),
+                    )
+                    tie += 1
+        return None
+    finally:
+        metrics = get_metrics()
+        metrics.count("droute.astar_calls")
+        metrics.observe("droute.astar_expansions", expansions)
 
 
 def _build_result(

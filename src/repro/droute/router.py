@@ -18,6 +18,7 @@ from repro.droute.drc import DrcKind, DrcViolation, check_min_area, check_shorts
 from repro.droute.lattice import LNode, TrackLattice
 from repro.droute.obstacles import BLOCKED, build_obstacle_map
 from repro.lefdef.guides import GuideRect
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass(slots=True)
@@ -75,7 +76,9 @@ class DetailedRouter:
     ) -> DetailedResult:
         """Route every net; ``guides`` come from the global router."""
         start = time.perf_counter()
-        owner, reservations = build_obstacle_map(self.design, self.lattice)
+        tracer = get_tracer()
+        with tracer.span("droute.obstacles"):
+            owner, reservations = build_obstacle_map(self.design, self.lattice)
         occupancy: dict[LNode, str] = {}
         conflicts: dict[LNode, tuple[str, str]] = {}
         net_nodes: dict[str, set[LNode]] = {}
@@ -84,40 +87,44 @@ class DetailedRouter:
 
         patch_counts: dict[str, int] = {}
 
-        order = sorted(
-            self.design.nets.values(),
-            key=lambda n: (self.design.net_hpwl(n), n.name),
-        )
-        for net in order:
-            self._route_net(
-                net,
-                guides.get(net.name) if guides is not None else None,
-                owner,
-                occupancy,
-                conflicts,
-                net_nodes,
-                pin_nodes,
-                patch_counts,
-                result,
+        with tracer.span("droute.first_pass"):
+            order = sorted(
+                self.design.nets.values(),
+                key=lambda n: (self.design.net_hpwl(n), n.name),
             )
-            # Release this net's unused escape reservations: once routed,
-            # later nets may pass over its pins' spare landings.
-            used = net_nodes.get(net.name, set())
-            for node in reservations.pop(net.name, ()):
-                if node not in used and owner.get(node) == net.name:
-                    del owner[node]
+            for net in order:
+                self._route_net(
+                    net,
+                    guides.get(net.name) if guides is not None else None,
+                    owner,
+                    occupancy,
+                    conflicts,
+                    net_nodes,
+                    pin_nodes,
+                    patch_counts,
+                    result,
+                )
+                # Release this net's unused escape reservations: once routed,
+                # later nets may pass over its pins' spare landings.
+                used = net_nodes.get(net.name, set())
+                for node in reservations.pop(net.name, ()):
+                    if node not in used and owner.get(node) == net.name:
+                        del owner[node]
 
         # Conflict-driven rip-up-and-reroute: every net involved in a
         # short is ripped (both aggressor and victim) and rerouted with a
         # clean slate — the detailed-routing analogue of the global
         # router's RRR passes.
-        for _ in range(self.drc_rounds):
+        for round_index in range(self.drc_rounds):
             ripped: set[str] = set()
             for net_a, net_b in conflicts.values():
                 ripped.add(net_a)
                 ripped.add(net_b)
             if not ripped:
                 break
+            metrics = get_metrics()
+            metrics.count("droute.rrr_rounds")
+            metrics.count("droute.ripped_nets", len(ripped))
             for name in ripped:
                 for node in net_nodes.pop(name, ()):
                     if occupancy.get(node) == name:
@@ -134,27 +141,32 @@ class DetailedRouter:
                 for v in result.violations
                 if not (v.kind is DrcKind.OPEN and v.net_a in ripped)
             ]
-            for name in sorted(
-                ripped,
-                key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n),
-            ):
-                self._route_net(
-                    self.design.nets[name],
-                    guides.get(name) if guides is not None else None,
-                    owner,
-                    occupancy,
-                    conflicts,
-                    net_nodes,
-                    pin_nodes,
-                    patch_counts,
-                    result,
-                )
+            with tracer.span("droute.rrr_round", round=round_index):
+                for name in sorted(
+                    ripped,
+                    key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n),
+                ):
+                    self._route_net(
+                        self.design.nets[name],
+                        guides.get(name) if guides is not None else None,
+                        owner,
+                        occupancy,
+                        conflicts,
+                        net_nodes,
+                        pin_nodes,
+                        patch_counts,
+                        result,
+                    )
 
-        self._tally(result, patch_counts)
-        result.violations.extend(check_shorts(conflicts))
-        result.violations.extend(
-            check_min_area(self.lattice, net_nodes, pin_nodes)
-        )
+        with tracer.span("droute.drc"):
+            self._tally(result, patch_counts)
+            result.violations.extend(check_shorts(conflicts))
+            result.violations.extend(
+                check_min_area(self.lattice, net_nodes, pin_nodes)
+            )
+        metrics = get_metrics()
+        metrics.count("droute.drvs", result.num_drvs)
+        metrics.gauge("droute.wirelength_dbu", result.wirelength_dbu)
         result.runtime_s = time.perf_counter() - start
         return result
 
@@ -237,6 +249,7 @@ class DetailedRouter:
                     soft=True,
                 )
             if search is None:
+                get_metrics().count("droute.opens")
                 result.violations.append(
                     DrcViolation(
                         kind=DrcKind.OPEN,
@@ -263,6 +276,7 @@ class DetailedRouter:
             occupancy.setdefault(node, net.name)
         net_nodes[net.name] = used
         result.paths[net.name] = paths
+        get_metrics().count("droute.nets_routed")
 
     def _patch_min_area(
         self,

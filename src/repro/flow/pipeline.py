@@ -1,8 +1,14 @@
-"""Flow orchestration: GR -> (CR&P | [18] | nothing) -> DR -> evaluate."""
+"""Flow orchestration: GR -> (CR&P | [18] | nothing) -> DR -> evaluate.
+
+Stage timing is recorded as ``repro.obs`` spans (``flow.run`` ->
+``flow.GR`` / ``flow.CRP`` / ``flow.BASELINE`` / ``flow.DR``); the
+``FlowResult.runtime`` dict keeps its historical shape but is populated
+from those spans, and every result carries the full span tree plus a
+metrics snapshot for the profiling exporters.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.db import Design, check_legality
@@ -11,6 +17,7 @@ from repro.droute import DetailedRouter
 from repro.evalmetrics import QualityScore, evaluate
 from repro.core import CrpConfig, CrpFramework, CrpResult
 from repro.baseline import FontanaBaseline, FontanaResult
+from repro.obs import Span, ensure_observation
 
 
 @dataclass(slots=True)
@@ -26,24 +33,36 @@ class FlowResult:
     quality: QualityScore | None = None
     crp: CrpResult | None = None
     fontana: FontanaResult | None = None
-    #: wall clock per stage: GR, CRP (or BASELINE), DR
+    #: wall clock per stage: GR, CRP (or BASELINE), DR — backed by ``trace``
     runtime: dict[str, float] = field(default_factory=dict)
     legal: bool = True
     failed: bool = False
+    #: the ``flow.run`` span tree this run recorded
+    trace: Span | None = None
+    #: metrics snapshot at flow end (cumulative within an ``observe()``)
+    metrics: dict[str, dict[str, object]] | None = None
 
     @property
     def total_runtime(self) -> float:
         return sum(self.runtime.values())
 
     def summary(self) -> str:
-        q = self.quality
-        quality = q and (
-            f"wl={q.wirelength_dbu} vias={q.vias} drvs={q.drvs}"
-        )
+        if self.failed:
+            body = "FAILED"
+        elif self.quality is not None:
+            q = self.quality
+            body = f"wl={q.wirelength_dbu} vias={q.vias} drvs={q.drvs}"
+        else:
+            # GR-level run (e.g. skip_detailed): report router stats
+            # instead of printing a literal "None".
+            body = (
+                f"gr_wl={self.gr_wirelength_dbu} gr_vias={self.gr_vias} "
+                f"gr_overflow={self.gr_overflow:.1f}"
+            )
         return (
             f"{self.design} [{self.mode}"
             f"{f' k={self.crp_iterations}' if self.crp_iterations else ''}] "
-            f"{'FAILED' if self.failed else quality} "
+            f"{body} "
             f"({self.total_runtime:.1f}s)"
         )
 
@@ -70,40 +89,64 @@ def run_flow(
         mode=mode,
         crp_iterations=crp_iterations if mode == "crp" else 0,
     )
+    with ensure_observation() as obs:
+        tracer = obs.tracer
+        with tracer.span("flow.run", design=design.name, mode=mode) as root:
+            _run_stages(
+                design, mode, crp_iterations, config, baseline_budget_s,
+                rrr_passes, skip_detailed, result, tracer, obs.metrics,
+            )
+        result.trace = root
+        result.metrics = obs.metrics.snapshot()
+    return result
 
-    t0 = time.perf_counter()
-    router = GlobalRouter(design)
-    router.route_all(rrr_passes=rrr_passes)
-    result.runtime["GR"] = time.perf_counter() - t0
+
+def _run_stages(
+    design: Design,
+    mode: str,
+    crp_iterations: int,
+    config: CrpConfig | None,
+    baseline_budget_s: float | None,
+    rrr_passes: int,
+    skip_detailed: bool,
+    result: FlowResult,
+    tracer,
+    metrics,
+) -> None:
+    """The stage sequence, inside the open ``flow.run`` span."""
+    with tracer.span("flow.GR") as sp:
+        router = GlobalRouter(design)
+        router.route_all(rrr_passes=rrr_passes)
+    result.runtime["GR"] = sp.wall_s
 
     if mode == "crp":
         framework = CrpFramework(design, router, config)
-        t0 = time.perf_counter()
-        result.crp = framework.run(crp_iterations)
-        result.runtime["CRP"] = time.perf_counter() - t0
+        with tracer.span("flow.CRP") as sp:
+            result.crp = framework.run(crp_iterations)
+        result.runtime["CRP"] = sp.wall_s
     elif mode == "fontana":
         baseline = FontanaBaseline(
             design, router, time_budget_s=baseline_budget_s
         )
-        t0 = time.perf_counter()
-        result.fontana = baseline.run()
-        result.runtime["BASELINE"] = time.perf_counter() - t0
+        with tracer.span("flow.BASELINE") as sp:
+            result.fontana = baseline.run()
+        result.runtime["BASELINE"] = sp.wall_s
         if result.fontana.failed:
             result.failed = True
-            return result
+            return
 
     result.gr_wirelength_dbu = router.total_wirelength_dbu()
     result.gr_vias = router.total_vias()
     result.gr_overflow = router.total_overflow()
     result.legal = check_legality(design).is_legal
+    metrics.gauge("flow.gr_overflow", result.gr_overflow)
 
     if skip_detailed:
-        return result
+        return
 
-    t0 = time.perf_counter()
-    guides = router.guides()
-    detailed = DetailedRouter(design)
-    dr_result = detailed.route_all(guides)
-    result.runtime["DR"] = time.perf_counter() - t0
+    with tracer.span("flow.DR") as sp:
+        guides = router.guides()
+        detailed = DetailedRouter(design)
+        dr_result = detailed.route_all(guides)
+    result.runtime["DR"] = sp.wall_s
     result.quality = evaluate(design.name, design.tech, dr_result)
-    return result

@@ -1,4 +1,10 @@
-"""Runtime accounting helpers for the Fig. 2 / Fig. 3 benchmarks."""
+"""Runtime accounting helpers for the Fig. 2 / Fig. 3 benchmarks.
+
+Since the ``repro.obs`` integration the numbers flowing through here
+come from tracer spans: ``FlowResult.runtime`` mirrors the ``flow.*``
+stage spans and ``CrpResult.runtime_breakdown()`` mirrors the
+``crp.*`` step spans of every iteration.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,9 @@ from repro.flow.pipeline import FlowResult
 #: Fig. 3 stage labels, in the paper's plotting order.
 FIG3_STAGES = ("GR", "GCP", "ECC", "UD", "Misc", "DR")
 
+#: Per-iteration CR&P step keys every tracer-backed breakdown must have.
+CRP_STEP_KEYS = ("label", "GCP", "ECC", "ILP", "UD")
+
 
 def runtime_breakdown_pct(result: FlowResult) -> dict[str, float]:
     """Percentage runtime per Fig. 3 stage for one CR&P flow run.
@@ -14,16 +23,26 @@ def runtime_breakdown_pct(result: FlowResult) -> dict[str, float]:
     ``GCP`` = candidate generation, ``ECC`` = candidate cost estimation,
     ``UD`` = database update, ``Misc`` = labeling + selection ILP; GR
     and DR are the routing stages around CR&P.
+
+    Raises :class:`KeyError` when ``result.crp`` is present but its
+    span-backed breakdown is missing any of the five step keys — a
+    silent all-zero answer here used to hide instrumentation bugs.
     """
     seconds: dict[str, float] = {stage: 0.0 for stage in FIG3_STAGES}
     seconds["GR"] = result.runtime.get("GR", 0.0)
     seconds["DR"] = result.runtime.get("DR", 0.0)
     if result.crp is not None:
         breakdown = result.crp.runtime_breakdown()
-        seconds["GCP"] = breakdown.get("GCP", 0.0)
-        seconds["ECC"] = breakdown.get("ECC", 0.0)
-        seconds["UD"] = breakdown.get("UD", 0.0)
-        seconds["Misc"] = breakdown.get("label", 0.0) + breakdown.get("ILP", 0.0)
+        missing = [key for key in CRP_STEP_KEYS if key not in breakdown]
+        if missing:
+            raise KeyError(
+                f"CR&P runtime breakdown is missing step spans {missing}; "
+                f"got keys {sorted(breakdown)}"
+            )
+        seconds["GCP"] = breakdown["GCP"]
+        seconds["ECC"] = breakdown["ECC"]
+        seconds["UD"] = breakdown["UD"]
+        seconds["Misc"] = breakdown["label"] + breakdown["ILP"]
     total = sum(seconds.values())
     if total <= 0:
         return {stage: 0.0 for stage in FIG3_STAGES}

@@ -12,6 +12,7 @@ import heapq
 from itertools import count
 
 from repro.grid import CostModel, GridEdge, RoutingGraph
+from repro.obs import get_metrics
 
 Node = tuple[int, int, int]  # (layer, gx, gy)
 
@@ -57,29 +58,38 @@ def maze_route(
         g_score[s] = 0.0
         heapq.heappush(open_heap, (heuristic(s), next(tie), s))
 
-    while open_heap:
-        f, _, node = heapq.heappop(open_heap)
-        g = g_score[node]
-        if f > g + heuristic(node) + 1e-9:
-            continue  # stale entry
-        if node in targets:
-            return _reconstruct(node, came_from)
-        for neighbour, edge in graph.neighbors(node):
-            if not in_window(neighbour):
-                continue
-            step = cost_model.edge_cost(edge)
-            if overflow_penalty > 0.0 and edge.kind.value == "wire":
-                if graph.demand(edge) >= graph.capacity(edge):
-                    step += overflow_penalty
-            tentative = g + step
-            if tentative < g_score.get(neighbour, float("inf")) - 1e-12:
-                g_score[neighbour] = tentative
-                came_from[neighbour] = (node, edge)
-                heapq.heappush(
-                    open_heap,
-                    (tentative + heuristic(neighbour), next(tie), neighbour),
-                )
-    return None
+    # Expansions are tallied locally and recorded once on exit so the
+    # inner loop stays metric-free.
+    expansions = 0
+    try:
+        while open_heap:
+            f, _, node = heapq.heappop(open_heap)
+            g = g_score[node]
+            if f > g + heuristic(node) + 1e-9:
+                continue  # stale entry
+            expansions += 1
+            if node in targets:
+                return _reconstruct(node, came_from)
+            for neighbour, edge in graph.neighbors(node):
+                if not in_window(neighbour):
+                    continue
+                step = cost_model.edge_cost(edge)
+                if overflow_penalty > 0.0 and edge.kind.value == "wire":
+                    if graph.demand(edge) >= graph.capacity(edge):
+                        step += overflow_penalty
+                tentative = g + step
+                if tentative < g_score.get(neighbour, float("inf")) - 1e-12:
+                    g_score[neighbour] = tentative
+                    came_from[neighbour] = (node, edge)
+                    heapq.heappush(
+                        open_heap,
+                        (tentative + heuristic(neighbour), next(tie), neighbour),
+                    )
+        return None
+    finally:
+        metrics = get_metrics()
+        metrics.count("groute.maze_calls")
+        metrics.observe("groute.maze_expansions", expansions)
 
 
 def _reconstruct(

@@ -27,6 +27,7 @@ from repro.groute.maze import maze_route
 from repro.groute.pattern3d import PatternRouter3D
 from repro.groute.patterns import pattern_paths_2d
 from repro.lefdef.guides import GuideRect
+from repro.obs import get_metrics, get_tracer
 
 Node = tuple[int, int, int]
 
@@ -103,15 +104,18 @@ class GlobalRouter:
 
     def route_all(self, rrr_passes: int = 3) -> None:
         """Route every net, then run rip-up-and-reroute on overflows."""
-        order = sorted(
-            self.design.nets.values(),
-            key=lambda n: (self.design.net_hpwl(n), n.name),
-        )
-        for net in order:
-            self.route_net(net.name)
-        for _ in range(rrr_passes):
-            if not self._rrr_pass():
-                break
+        tracer = get_tracer()
+        with tracer.span("groute.initial"):
+            order = sorted(
+                self.design.nets.values(),
+                key=lambda n: (self.design.net_hpwl(n), n.name),
+            )
+            for net in order:
+                self.route_net(net.name)
+        with tracer.span("groute.rrr"):
+            for _ in range(rrr_passes):
+                if not self._rrr_pass():
+                    break
 
     def route_net(self, net_name: str) -> NetRoute:
         """(Re)route one net with RSMT + 3D pattern routing."""
@@ -123,6 +127,7 @@ class GlobalRouter:
         if len(terminals) > 1:
             route.edges = self._route_tree(terminals)
         self._commit(route)
+        get_metrics().count("groute.nets_routed")
         return route
 
     def _route_tree(self, terminals: list[Node]) -> set[GridEdge]:
@@ -198,6 +203,7 @@ class GlobalRouter:
         route = self.routes.pop(net_name, None)
         if route is None:
             return
+        get_metrics().count("groute.ripup_nets")
         self.graph.apply_route(sorted(route.edges), sign=-1)
         for edge in route.edges:
             users = self._edge_nets.get(edge)
@@ -232,6 +238,9 @@ class GlobalRouter:
                         victims.append(name)
         if not victims:
             return False
+        metrics = get_metrics()
+        metrics.count("groute.rrr_passes")
+        metrics.count("groute.rrr_victims", min(len(victims), max_nets))
         victims.sort(
             key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n)
         )
@@ -256,6 +265,7 @@ class GlobalRouter:
                     overflow_penalty=10.0 * self.cost.params.via_weight,
                 )
                 if path is None:
+                    get_metrics().count("groute.maze_fallbacks")
                     fallback = self._route_segment(
                         next(iter(connected)), (terminal[1], terminal[2]), terminal[0]
                     )

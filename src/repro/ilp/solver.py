@@ -1,9 +1,18 @@
-"""Backend dispatch for ILP solves."""
+"""Backend dispatch for ILP solves, instrumented with ``repro.obs``.
+
+Every solve runs inside an ``ilp.solve`` span and records the
+``ilp.solves`` counter plus ``ilp.solve_ms`` / ``ilp.variables``
+histograms, so profiles show how much of a CR&P stage (selection ILP,
+window-legalizer ILPs inside GCP) is solver time.
+"""
 
 from __future__ import annotations
 
+import time
+
 from repro.ilp.model import IlpModel
 from repro.ilp.solution import Solution, SolveStatus
+from repro.obs import get_metrics, get_tracer
 
 
 def solve(model: IlpModel, backend: str = "auto") -> Solution:
@@ -12,6 +21,21 @@ def solve(model: IlpModel, backend: str = "auto") -> Solution:
     ``backend`` is one of ``auto`` (HiGHS if importable, else
     branch-and-bound), ``scipy``, ``bnb``, or ``exhaustive``.
     """
+    with get_tracer().span(
+        "ilp.solve", backend=backend, variables=model.num_variables
+    ):
+        t0 = time.perf_counter()
+        solution = _dispatch(model, backend)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+    metrics = get_metrics()
+    metrics.count("ilp.solves")
+    metrics.count(f"ilp.status.{solution.status.value}")
+    metrics.observe("ilp.solve_ms", elapsed_ms)
+    metrics.observe("ilp.variables", model.num_variables)
+    return solution
+
+
+def _dispatch(model: IlpModel, backend: str) -> Solution:
     if backend == "auto":
         try:
             from repro.ilp.scipy_backend import solve_scipy

@@ -1,0 +1,80 @@
+"""``repro.obs`` — tracing, metrics & profiling for the whole flow.
+
+Zero-dependency observability with three pillars:
+
+* **Spans** (:mod:`repro.obs.tracer`): hierarchical wall+CPU timing via
+  ``tracer.span("flow.GR")`` context managers or ``@traced``; the
+  process default is a no-op tracer so instrumentation is ~free when
+  off.
+* **Metrics** (:mod:`repro.obs.metrics`): thread-safe counters, gauges
+  and p50/p95 histograms (``groute.maze_fallbacks``, ``ilp.solve_ms``).
+* **Exporters** (:mod:`repro.obs.export`, :mod:`repro.obs.render`,
+  :mod:`repro.obs.profile`): JSON trace files, flat ``BENCH_``-style
+  summaries, and the human ``--profile`` tree.
+
+Span and metric names follow ``<layer>.<event>`` — see README.md
+("Observability") for the convention.
+"""
+
+from repro.obs.spans import Span
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    NoopTracer,
+    Tracer,
+    ensure_tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    use_tracer,
+)
+from repro.obs.metrics import (
+    NOOP_METRICS,
+    MetricsRegistry,
+    NoopMetrics,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.session import Observation, ensure_observation, observe
+from repro.obs.export import (
+    bench_summary,
+    load_trace_document,
+    span_from_dict,
+    span_to_dict,
+    trace_document,
+    write_trace,
+)
+from repro.obs.render import render_metrics, render_tree
+from repro.obs.profile import ProfileReport, profile_flow, write_bench_obs
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "ensure_tracer",
+    "traced",
+    "MetricsRegistry",
+    "NoopMetrics",
+    "NOOP_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "Observation",
+    "observe",
+    "ensure_observation",
+    "span_to_dict",
+    "span_from_dict",
+    "trace_document",
+    "load_trace_document",
+    "write_trace",
+    "bench_summary",
+    "render_tree",
+    "render_metrics",
+    "ProfileReport",
+    "profile_flow",
+    "write_bench_obs",
+]

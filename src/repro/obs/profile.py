@@ -1,0 +1,116 @@
+"""Flow profiling: run a benchmark under observation, export BENCH_obs.
+
+This is the library behind ``crp profile <design>``.  Each design gets
+a fresh observation session so its metrics snapshot is per-design, and
+the emitted document records the stage runtimes straight from the flow
+trace so ``BENCH_obs.json`` agrees with ``FlowResult.runtime`` by
+construction.
+
+Imports of ``repro.flow``/``repro.benchgen`` are deferred into the
+functions: those packages are themselves instrumented with ``repro.obs``
+and importing them at module scope would be circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.export import bench_summary, span_to_dict, write_trace
+from repro.obs.render import render_metrics, render_tree
+from repro.obs.session import observe
+from repro.obs.spans import Span
+
+
+@dataclass(slots=True)
+class ProfileReport:
+    """One design's profiled flow run."""
+
+    design: str
+    mode: str
+    iterations: int
+    trace: Span
+    metrics: dict[str, dict[str, object]]
+    runtime: dict[str, float]
+    breakdown_pct: dict[str, float] | None
+    summary_line: str
+
+    def document(self) -> dict[str, object]:
+        """JSON-able per-design record for ``BENCH_obs.json``."""
+        doc: dict[str, object] = {
+            "design": self.design,
+            "mode": self.mode,
+            "iterations": self.iterations,
+            "runtime_s": {k: round(v, 6) for k, v in self.runtime.items()},
+            "total_runtime_s": round(sum(self.runtime.values()), 6),
+            "spans": bench_summary(self.trace),
+            "metrics": self.metrics,
+            "trace": span_to_dict(self.trace),
+        }
+        if self.breakdown_pct is not None:
+            doc["fig3_breakdown_pct"] = {
+                k: round(v, 3) for k, v in self.breakdown_pct.items()
+            }
+        return doc
+
+    def render(self) -> str:
+        """The human ``--profile`` report: span tree + metrics tables."""
+        return "\n".join(
+            (self.summary_line, "", render_tree(self.trace), "",
+             render_metrics(self.metrics))
+        )
+
+
+def profile_flow(
+    design_name: str,
+    mode: str = "crp",
+    iterations: int = 1,
+    skip_detailed: bool = False,
+) -> ProfileReport:
+    """Run one flow under a fresh observation and package the evidence."""
+    from repro.benchgen import make_design
+    from repro.flow.pipeline import run_flow
+    from repro.flow.runtime import runtime_breakdown_pct
+
+    design = make_design(design_name)
+    with observe():
+        result = run_flow(
+            design,
+            mode=mode,
+            crp_iterations=iterations,
+            skip_detailed=skip_detailed,
+        )
+    assert result.trace is not None  # run_flow always records
+    breakdown = None
+    if result.crp is not None:
+        breakdown = runtime_breakdown_pct(result)
+    return ProfileReport(
+        design=design_name,
+        mode=mode,
+        iterations=iterations,
+        trace=result.trace,
+        metrics=result.metrics or {},
+        runtime=dict(result.runtime),
+        breakdown_pct=breakdown,
+        summary_line=result.summary(),
+    )
+
+
+def write_bench_obs(
+    reports: list[ProfileReport], path: str | Path = "BENCH_obs.json"
+) -> Path:
+    """Write the multi-design ``BENCH_obs.json`` document."""
+    import json
+
+    path = Path(path)
+    doc = {
+        "schema": "repro.obs/bench-1",
+        "designs": [r.document() for r in reports],
+    }
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+__all__ = ["ProfileReport", "profile_flow", "write_bench_obs", "write_trace"]

@@ -1,0 +1,100 @@
+"""Human-readable rendering: the ``--profile`` tree and metrics tables.
+
+Sibling spans with the same name are aggregated into one line with a
+multiplicity marker (``ilp.solve x37``) so a k=10 CR&P run stays a
+readable page instead of thousands of lines.
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import Span
+
+
+def _aggregate(children: list[Span]) -> list[tuple[str, int, float, float, list[Span]]]:
+    """Group sibling spans by name: (name, count, wall, cpu, members)."""
+    order: list[str] = []
+    groups: dict[str, list[Span]] = {}
+    for child in children:
+        if child.name not in groups:
+            order.append(child.name)
+            groups[child.name] = []
+        groups[child.name].append(child)
+    out = []
+    for name in order:
+        members = groups[name]
+        out.append((
+            name,
+            len(members),
+            sum(s.wall_s for s in members),
+            sum(s.cpu_s for s in members),
+            members,
+        ))
+    return out
+
+
+def render_tree(span: Span, max_depth: int = 6) -> str:
+    """ASCII profile tree of one span (wall, cpu, % of parent)."""
+    lines: list[str] = []
+    width = 44
+
+    def emit(label: str, wall: float, cpu: float, parent_wall: float,
+             indent: str) -> None:
+        pct = f"{100.0 * wall / parent_wall:5.1f}%" if parent_wall > 0 else "      "
+        lines.append(
+            f"{(indent + label):<{width}} {wall * 1000.0:>10.1f} ms "
+            f"{cpu * 1000.0:>10.1f} ms  {pct}"
+        )
+
+    header = f"{'span':<{width}} {'wall':>13} {'cpu':>13}  parent%"
+    lines.append(header)
+    lines.append("-" * len(header))
+    emit(span.name, span.wall_s, span.cpu_s, 0.0, "")
+
+    def recurse(parent: Span, indent: str, depth: int) -> None:
+        if depth >= max_depth:
+            return
+        groups = _aggregate(parent.children)
+        for index, (name, count, wall, cpu, members) in enumerate(groups):
+            last = index == len(groups) - 1
+            branch = "`- " if last else "|- "
+            label = name if count == 1 else f"{name} x{count}"
+            emit(label, wall, cpu, parent.wall_s, indent + branch)
+            # Recurse into the merged children of all members so repeated
+            # stages (crp.iteration x10) still show their inner breakdown.
+            merged = Span(name=name, wall_s=wall)
+            for member in members:
+                merged.children.extend(member.children)
+            recurse(merged, indent + ("   " if last else "|  "), depth + 1)
+
+    recurse(span, "", 1)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict[str, dict[str, object]]) -> str:
+    """Counters, gauges and histogram stats as aligned text tables."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            value = counters[name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:<36} {shown:>12}")
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<36} {gauges[name]:>12.3f}")
+    if histograms:
+        lines.append(
+            f"  {'histogram':<36} {'count':>8} {'mean':>10} {'p50':>10} "
+            f"{'p95':>10} {'max':>10}"
+        )
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<36} {h['count']:>8} {h['mean']:>10.1f} "
+                f"{h['p50']:>10.1f} {h['p95']:>10.1f} {h['max']:>10.1f}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

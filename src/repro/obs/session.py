@@ -1,0 +1,66 @@
+"""Observation sessions: turn tracing + metrics on for a scope.
+
+``observe()`` is the user-facing switch::
+
+    from repro.obs import observe
+
+    with observe() as obs:
+        result = run_flow(design, mode="crp")
+    print(obs.tracer.roots[0].name)        # "flow.run"
+    print(obs.metrics.snapshot()["counters"])
+
+``ensure_observation()`` is the driver-facing variant used by
+``run_flow``: it reuses a recording ambient session when one is active
+(so flows nest under a caller's ``observe()``), otherwise it installs a
+fresh private session so every ``FlowResult`` carries a trace and a
+metrics snapshot even with global observability off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry, get_metrics, use_metrics
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
+
+
+@dataclass(slots=True)
+class Observation:
+    """A live (tracer, metrics) pair."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+
+@contextmanager
+def observe() -> Iterator[Observation]:
+    """Install a fresh recording tracer + registry for the scope."""
+    with use_tracer(Tracer()) as tracer, use_metrics(MetricsRegistry()) as metrics:
+        yield Observation(tracer=tracer, metrics=metrics)
+
+
+@contextmanager
+def ensure_observation() -> Iterator[Observation]:
+    """Yield a *recording* observation, reusing the ambient one if live.
+
+    Note that with a reused ambient session the metrics registry is
+    shared: snapshots taken at flow end are cumulative across every
+    flow run inside the same ``observe()`` block.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
+    if tracer.recording and metrics.recording:
+        yield Observation(tracer=tracer, metrics=metrics)
+        return
+    if tracer.recording:
+        with use_metrics(MetricsRegistry()) as metrics:
+            yield Observation(tracer=tracer, metrics=metrics)
+        return
+    if metrics.recording:
+        with use_tracer(Tracer()) as tracer:
+            yield Observation(tracer=tracer, metrics=metrics)
+        return
+    with observe() as obs:
+        yield obs
