@@ -45,6 +45,14 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-out", metavar="PATH",
         help="write the JSON span trace (+ metrics) to this path",
     )
+    p_run.add_argument(
+        "--budget", type=float, metavar="S",
+        help="wall-clock budget for the whole flow in seconds",
+    )
+    p_run.add_argument(
+        "--stage-budget", type=float, metavar="S",
+        help="wall-clock budget per flow stage in seconds",
+    )
 
     p_profile = sub.add_parser(
         "profile",
@@ -117,8 +125,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         crp_iterations=args.iterations,
         skip_detailed=args.skip_detailed,
+        budget_s=args.budget,
+        stage_budget_s=args.stage_budget,
     )
     print(result.summary())
+    if result.failure is not None:
+        print(f"  failure: {result.failure.summary()}", file=sys.stderr)
     if result.quality:
         print(
             f"  score={result.quality.score:.1f} "
@@ -142,6 +154,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             extra={"design": result.design, "mode": result.mode},
         )
         print(f"wrote trace to {path}")
+    if result.failed or not result.legal:
+        return 1
     return 0
 
 
@@ -161,6 +175,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print()
     path = write_bench_obs(reports, args.out)
     print(f"wrote {path}")
+    if any(r.failed or not r.legal for r in reports):
+        return 1
     return 0
 
 
@@ -171,6 +187,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     modes: list[tuple[str, int]] = [("baseline", 0), ("fontana", 0), ("crp", 1)]
     if args.k10:
         modes.append(("crp", 10))
+    rc = 0
     for bench in args.bench:
         rows = {}
         for mode, k in modes:
@@ -180,9 +197,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         base = rows[("baseline", 0)].quality
         print(f"== {bench} ==")
         for (mode, k), result in rows.items():
-            if result.failed or result.quality is None:
+            if result.failed or result.quality is None or base is None:
                 print(f"  {mode:<10} FAILED")
+                rc = 1
                 continue
+            if not result.legal:
+                rc = 1
             imp = result.quality.improvement_over(base)
             label = f"{mode}{f' k={k}' if k else ''}"
             print(
@@ -190,15 +210,24 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 f"({imp['wirelength']:+.2f}%) vias={result.quality.vias:>7} "
                 f"({imp['vias']:+.2f}%) drvs={result.quality.drvs}"
             )
-    return 0
+    return rc
 
 
 def _cmd_dump(args: argparse.Namespace) -> int:
     from repro.benchgen import SUITE, make_design
+    from repro.db import check_legality
     from repro.groute import GlobalRouter
     from repro.lefdef import write_def, write_guides, write_lef
 
     design = make_design(args.bench)
+    legality = check_legality(design)
+    if not legality.is_legal:
+        print(
+            f"refusing to dump an illegal placement "
+            f"({len(legality.violations)} violations)",
+            file=sys.stderr,
+        )
+        return 1
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     (out / f"{args.bench}.lef").write_text(write_lef(design.tech))
@@ -215,6 +244,7 @@ def _cmd_dump(args: argparse.Namespace) -> int:
 def _cmd_show(args: argparse.Namespace) -> int:
     from repro.benchgen import make_design
     from repro.core import CrpConfig, CrpFramework
+    from repro.db import check_legality
     from repro.groute import GlobalRouter
     from repro.viz import congestion_heatmap, layer_usage_table, svg_die_plot
 
@@ -223,8 +253,10 @@ def _cmd_show(args: argparse.Namespace) -> int:
     router.route_all()
     if args.crp > 0:
         CrpFramework(design, router, CrpConfig(seed=0)).run(args.crp)
+    legal = check_legality(design).is_legal
     print(f"{args.bench}: wl={router.total_wirelength_dbu()} "
-          f"vias={router.total_vias()} overflow={router.total_overflow():.1f}")
+          f"vias={router.total_vias()} overflow={router.total_overflow():.1f}"
+          f"{'' if legal else ' !ILLEGAL-PLACEMENT'}")
     print()
     print(congestion_heatmap(router))
     print()
@@ -233,7 +265,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
         nets = sorted(design.nets)[:20]
         Path(args.svg).write_text(svg_die_plot(design, router, nets=nets))
         print(f"\nwrote {args.svg}")
-    return 0
+    return 0 if legal else 1
 
 
 if __name__ == "__main__":

@@ -36,6 +36,9 @@ class CrpConfig:
     prioritize: bool = True
     #: ILP backend for legalizer and selection
     ilp_backend: str = "auto"
+    #: wall-clock budget per ILP solve (None = unbounded); on expiry the
+    #: guard ladder degrades to the greedy backend instead of hanging
+    ilp_budget_s: float | None = None
     #: cap on critical cells per iteration (keeps runtime bounded)
     max_critical_cells: int = 200
 
@@ -46,3 +49,5 @@ class CrpConfig:
             raise ValueError("temperature must be positive")
         if self.n_sites < 2 or self.n_rows < 1 or self.max_cells < 1:
             raise ValueError("degenerate legalizer window")
+        if self.ilp_budget_s is not None and self.ilp_budget_s < 0:
+            raise ValueError("ilp_budget_s must be non-negative")

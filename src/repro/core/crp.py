@@ -6,6 +6,13 @@ routing.  Each step runs inside a ``repro.obs`` span (``crp.label``,
 ``crp.iteration`` parent), and ``IterationStats.runtime`` is populated
 from those span wall times — one source of truth for the Fig. 3
 runtime breakdown (GCP / ECC / ILP / UD).
+
+Iterations are transactional (``repro.guard``): the Update-Database
+step runs against a snapshot of the cells and routes it may touch, and
+any exception or post-step invariant violation (illegal placement,
+demand-accounting drift, route cost regressing beyond
+``GuardPolicy.cost_tolerance``) rolls the iteration back — the design
+is never left worse than before the iteration started.
 """
 
 from __future__ import annotations
@@ -13,6 +20,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.guard import (
+    DeadlineExceeded,
+    GuardPolicy,
+    IterationTransaction,
+    iteration_violations,
+)
 from repro.obs import ensure_tracer, get_metrics
 
 from repro.db import Design
@@ -22,7 +35,7 @@ from repro.core.config import CrpConfig
 from repro.core.estimate import estimate_candidate_cost
 from repro.core.labeling import label_critical_cells
 from repro.core.select import select_moves
-from repro.core.update import apply_moves
+from repro.core.update import UpdateStats, apply_moves
 
 
 @dataclass(slots=True)
@@ -37,6 +50,10 @@ class IterationStats:
     displacement: int = 0
     #: per-step wall clock (seconds); keys are the Fig. 3 labels
     runtime: dict[str, float] = field(default_factory=dict)
+    #: True when the guard rolled this iteration back
+    rolled_back: bool = False
+    #: invariant violations (or the exception) that caused the rollback
+    rollback_reasons: list[str] = field(default_factory=list)
 
     @property
     def total_runtime(self) -> float:
@@ -52,6 +69,10 @@ class CrpResult:
     @property
     def total_moved(self) -> int:
         return sum(s.num_moved for s in self.iterations)
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for s in self.iterations if s.rolled_back)
 
     @property
     def total_runtime(self) -> float:
@@ -78,11 +99,13 @@ class CrpFramework:
         design: Design,
         router: GlobalRouter,
         config: CrpConfig | None = None,
+        guard: GuardPolicy | None = None,
     ) -> None:
         self.design = design
         self.router = router
         self.config = config or CrpConfig()
         self.config.validate()
+        self.guard = guard or GuardPolicy()
         self._rng = random.Random(self.config.seed)
         # Ablation support: estimate candidate costs congestion-blind
         # (use_penalty=False) while the router itself keeps its model.
@@ -99,10 +122,19 @@ class CrpFramework:
             self._estimate_cost_model = CostModel(router.graph, params)
 
     def run(self, iterations: int = 1) -> CrpResult:
-        """Execute ``k`` CR&P iterations (the paper reports k=1 and 10)."""
+        """Execute ``k`` CR&P iterations (the paper reports k=1 and 10).
+
+        CR&P is an improvement loop, so a wall-clock deadline expiring
+        mid-run stops iterating (counting ``crp.deadline_stops``) and
+        returns the iterations that completed, rather than raising.
+        """
         result = CrpResult()
         for k in range(iterations):
-            result.iterations.append(self.run_iteration(k))
+            try:
+                result.iterations.append(self.run_iteration(k))
+            except DeadlineExceeded:
+                get_metrics().count("crp.deadline_stops")
+                break
         return result
 
     def run_until_converged(
@@ -122,7 +154,11 @@ class CrpFramework:
         stale = 0
         previous = self._total_route_cost()
         for k in range(max_iterations):
-            result.iterations.append(self.run_iteration(k))
+            try:
+                result.iterations.append(self.run_iteration(k))
+            except DeadlineExceeded:
+                get_metrics().count("crp.deadline_stops")
+                break
             current = self._total_route_cost()
             gain = (previous - current) / previous if previous > 0 else 0.0
             previous = current
@@ -141,6 +177,9 @@ class CrpFramework:
         """One pass of the five CR&P steps, each under its own span."""
         stats = IterationStats(iteration=index)
         config = self.config
+        pre_cost = (
+            self._total_route_cost() if self.guard.transactional else 0.0
+        )
         with ensure_tracer() as tracer, tracer.span(
             "crp.iteration", k=index
         ):
@@ -171,18 +210,23 @@ class CrpFramework:
 
             with tracer.span("crp.ILP") as sp:
                 chosen = select_moves(
-                    self.design, candidates, backend=config.ilp_backend
+                    self.design,
+                    candidates,
+                    backend=config.ilp_backend,
+                    budget_s=config.ilp_budget_s,
                 )
             stats.runtime["ILP"] = sp.wall_s
 
             with tracer.span("crp.UD") as sp:
-                update = apply_moves(self.design, self.router, chosen)
+                update = self._apply_update(chosen, pre_cost, stats)
             stats.runtime["UD"] = sp.wall_s
         stats.num_moved = len(update.moved_cells)
         stats.num_rerouted = len(update.rerouted_nets)
         stats.displacement = update.total_displacement
 
         metrics = get_metrics()
+        if stats.rolled_back:
+            metrics.count("guard.rollbacks")
         metrics.count("crp.iterations")
         metrics.count("crp.critical_cells", stats.num_critical)
         metrics.count("crp.candidates", stats.num_candidates)
@@ -190,3 +234,41 @@ class CrpFramework:
         metrics.count("crp.rerouted_nets", stats.num_rerouted)
         metrics.observe("crp.displacement_dbu", stats.displacement)
         return stats
+
+    def _apply_update(
+        self,
+        chosen: dict,
+        pre_cost: float,
+        stats: IterationStats,
+    ) -> UpdateStats:
+        """Run Update-Database transactionally (unless the guard is off).
+
+        An exception mid-update or a post-update invariant violation
+        restores the snapshot and reports an empty update, so a bad
+        iteration is a no-op rather than a corruption.
+        """
+        if not self.guard.transactional:
+            return apply_moves(self.design, self.router, chosen)
+        txn = IterationTransaction.capture(self.design, self.router, chosen)
+        try:
+            update = apply_moves(self.design, self.router, chosen)
+        except DeadlineExceeded:
+            # Restore consistency, then let the driver stop the loop.
+            txn.rollback()
+            stats.rolled_back = True
+            stats.rollback_reasons = ["deadline expired mid-update"]
+            raise
+        except Exception as exc:  # noqa: BLE001 — rollback then degrade
+            txn.rollback()
+            stats.rolled_back = True
+            stats.rollback_reasons = [f"{type(exc).__name__}: {exc}"]
+            return UpdateStats()
+        violations = iteration_violations(
+            self.design, self.router, pre_cost, self.guard.cost_tolerance
+        )
+        if violations:
+            txn.rollback()
+            stats.rolled_back = True
+            stats.rollback_reasons = violations
+            return UpdateStats()
+        return update

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.geom import Rect
 from repro.db import Design
+from repro.guard.faults import fault_point
 from repro.ilp import IlpModel, Sense, solve
 from repro.core.candidates import MoveCandidate
 
@@ -21,8 +22,20 @@ def select_moves(
     design: Design,
     candidates: dict[str, list[MoveCandidate]],
     backend: str = "auto",
+    budget_s: float | None = None,
 ) -> dict[str, MoveCandidate]:
     """Pick one candidate per critical cell minimizing total cost."""
+    # Fault site: "worst" replaces the ILP with the most expensive
+    # choice per cell — a deterministically bad (worsening) move set
+    # the iteration guard must catch and roll back.
+    if fault_point("crp.select") == "worst":
+        return {
+            cell_name: max(
+                cell_candidates,
+                key=lambda c: min(c.route_cost, 1e9),
+            )
+            for cell_name, cell_candidates in candidates.items()
+        }
     model = IlpModel("crp-select")
     var_of: dict[tuple[str, int], int] = {}
     for cell_name, cell_candidates in candidates.items():
@@ -38,7 +51,7 @@ def select_moves(
 
     _add_conflict_constraints(design, candidates, model, var_of)
 
-    solution = solve(model, backend=backend)
+    solution = solve(model, backend=backend, budget_s=budget_s)
     chosen: dict[str, MoveCandidate] = {}
     if not solution.ok:
         # Infeasibility cannot happen (keep-current is always available

@@ -17,6 +17,7 @@ from repro.droute.astar import SearchParams, astar_connect
 from repro.droute.drc import DrcKind, DrcViolation, check_min_area, check_shorts
 from repro.droute.lattice import LNode, TrackLattice
 from repro.droute.obstacles import BLOCKED, build_obstacle_map
+from repro.guard.deadline import check_deadline
 from repro.lefdef.guides import GuideRect
 from repro.obs import get_metrics, get_tracer
 
@@ -93,6 +94,7 @@ class DetailedRouter:
                 key=lambda n: (self.design.net_hpwl(n), n.name),
             )
             for net in order:
+                check_deadline("droute.net")
                 self._route_net(
                     net,
                     guides.get(net.name) if guides is not None else None,

@@ -5,11 +5,21 @@ Stage timing is recorded as ``repro.obs`` spans (``flow.run`` ->
 ``FlowResult.runtime`` dict keeps its historical shape but is populated
 from those spans, and every result carries the full span tree plus a
 metrics snapshot for the profiling exporters.
+
+Stages are fault-isolated (``repro.guard``): an exception — or a
+deadline expiry under ``budget_s`` / ``stage_budget_s`` — inside a
+stage marks ``FlowResult.failed`` with a :class:`FailureReport`
+(stage, exception, traceback, partial metrics) instead of crashing, so
+callers always get back whatever the flow managed to produce.  Each
+stage also passes a ``fault_point`` (``flow.GR`` etc.) so the recovery
+paths are testable.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.db import Design, check_legality
 from repro.groute import GlobalRouter
@@ -17,6 +27,7 @@ from repro.droute import DetailedRouter
 from repro.evalmetrics import QualityScore, evaluate
 from repro.core import CrpConfig, CrpFramework, CrpResult
 from repro.baseline import FontanaBaseline, FontanaResult
+from repro.guard import FailureReport, GuardPolicy, deadline_scope, fault_point
 from repro.obs import Span, ensure_observation
 
 
@@ -37,6 +48,8 @@ class FlowResult:
     runtime: dict[str, float] = field(default_factory=dict)
     legal: bool = True
     failed: bool = False
+    #: what killed the failing stage, when ``failed`` is set
+    failure: FailureReport | None = None
     #: the ``flow.run`` span tree this run recorded
     trace: Span | None = None
     #: metrics snapshot at flow end (cumulative within an ``observe()``)
@@ -48,7 +61,11 @@ class FlowResult:
 
     def summary(self) -> str:
         if self.failed:
-            body = "FAILED"
+            body = (
+                f"FAILED[{self.failure.summary()}]"
+                if self.failure is not None
+                else "FAILED"
+            )
         elif self.quality is not None:
             q = self.quality
             body = f"wl={q.wirelength_dbu} vias={q.vias} drvs={q.drvs}"
@@ -59,11 +76,12 @@ class FlowResult:
                 f"gr_wl={self.gr_wirelength_dbu} gr_vias={self.gr_vias} "
                 f"gr_overflow={self.gr_overflow:.1f}"
             )
+        warning = "" if self.legal else " !ILLEGAL-PLACEMENT"
         return (
             f"{self.design} [{self.mode}"
             f"{f' k={self.crp_iterations}' if self.crp_iterations else ''}] "
             f"{body} "
-            f"({self.total_runtime:.1f}s)"
+            f"({self.total_runtime:.1f}s){warning}"
         )
 
 
@@ -75,12 +93,18 @@ def run_flow(
     baseline_budget_s: float | None = None,
     rrr_passes: int = 3,
     skip_detailed: bool = False,
+    budget_s: float | None = None,
+    stage_budget_s: float | None = None,
+    guard: GuardPolicy | None = None,
 ) -> FlowResult:
     """Run the full flow on ``design``.
 
     ``mode`` is ``baseline`` (GR + DR only), ``crp`` (GR + CR&P x k +
     DR), or ``fontana`` (GR + [18] + DR).  ``skip_detailed`` stops after
-    the movement stage for GR-level experiments.
+    the movement stage for GR-level experiments.  ``budget_s`` bounds
+    the whole flow's wall clock and ``stage_budget_s`` each stage's;
+    expiry fails the stage (with a :class:`FailureReport`) rather than
+    hanging.  ``guard`` tunes the CR&P iteration transaction.
     """
     if mode not in ("baseline", "crp", "fontana"):
         raise ValueError(f"unknown flow mode {mode!r}")
@@ -92,13 +116,34 @@ def run_flow(
     with ensure_observation() as obs:
         tracer = obs.tracer
         with tracer.span("flow.run", design=design.name, mode=mode) as root:
-            _run_stages(
-                design, mode, crp_iterations, config, baseline_budget_s,
-                rrr_passes, skip_detailed, result, tracer, obs.metrics,
-            )
+            with deadline_scope(budget_s, name="flow.run"):
+                _run_stages(
+                    design, mode, crp_iterations, config, baseline_budget_s,
+                    rrr_passes, skip_detailed, stage_budget_s, guard,
+                    result, tracer, obs.metrics,
+                )
         result.trace = root
         result.metrics = obs.metrics.snapshot()
     return result
+
+
+@contextmanager
+def _stage(result: FlowResult, name: str, metrics, budget_s: float | None) -> Iterator[None]:
+    """Isolate one stage: budget it, and convert death to a FailureReport.
+
+    The stage body must call ``fault_point("flow.<name>")`` as its first
+    statement (a context manager cannot raise before its ``yield``).
+    """
+    try:
+        with deadline_scope(budget_s, name=f"flow.{name}"):
+            yield
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        result.failed = True
+        result.failure = FailureReport.from_exception(
+            name, exc, metrics=metrics.snapshot()
+        )
+        metrics.count("flow.stage_failures")
+        metrics.count(f"flow.failed.{name}")
 
 
 def _run_stages(
@@ -109,30 +154,52 @@ def _run_stages(
     baseline_budget_s: float | None,
     rrr_passes: int,
     skip_detailed: bool,
+    stage_budget_s: float | None,
+    guard: GuardPolicy | None,
     result: FlowResult,
     tracer,
     metrics,
 ) -> None:
     """The stage sequence, inside the open ``flow.run`` span."""
-    with tracer.span("flow.GR") as sp:
+    router: GlobalRouter | None = None
+    with tracer.span("flow.GR") as sp, _stage(result, "GR", metrics, stage_budget_s):
+        fault_point("flow.GR")
         router = GlobalRouter(design)
         router.route_all(rrr_passes=rrr_passes)
     result.runtime["GR"] = sp.wall_s
+    if result.failed:
+        return
 
     if mode == "crp":
-        framework = CrpFramework(design, router, config)
-        with tracer.span("flow.CRP") as sp:
+        framework = CrpFramework(design, router, config, guard=guard)
+        with tracer.span("flow.CRP") as sp, _stage(
+            result, "CRP", metrics, stage_budget_s
+        ):
+            fault_point("flow.CRP")
             result.crp = framework.run(crp_iterations)
         result.runtime["CRP"] = sp.wall_s
+        if result.failed:
+            return
     elif mode == "fontana":
         baseline = FontanaBaseline(
             design, router, time_budget_s=baseline_budget_s
         )
-        with tracer.span("flow.BASELINE") as sp:
+        with tracer.span("flow.BASELINE") as sp, _stage(
+            result, "BASELINE", metrics, stage_budget_s
+        ):
+            fault_point("flow.BASELINE")
             result.fontana = baseline.run()
         result.runtime["BASELINE"] = sp.wall_s
+        if result.failed:
+            return
         if result.fontana.failed:
             result.failed = True
+            result.failure = FailureReport(
+                stage="BASELINE",
+                error_type="TimeBudgetExceeded",
+                message="the [18] baseline exhausted its time budget",
+                metrics=metrics.snapshot(),
+            )
             return
 
     result.gr_wirelength_dbu = router.total_wirelength_dbu()
@@ -140,13 +207,18 @@ def _run_stages(
     result.gr_overflow = router.total_overflow()
     result.legal = check_legality(design).is_legal
     metrics.gauge("flow.gr_overflow", result.gr_overflow)
+    if not result.legal:
+        # An illegal post-movement placement must be loud: counted here,
+        # flagged in summary(), and turned into a non-zero CLI exit.
+        metrics.count("flow.illegal")
 
     if skip_detailed:
         return
 
-    with tracer.span("flow.DR") as sp:
+    with tracer.span("flow.DR") as sp, _stage(result, "DR", metrics, stage_budget_s):
+        fault_point("flow.DR")
         guides = router.guides()
         detailed = DetailedRouter(design)
         dr_result = detailed.route_all(guides)
+        result.quality = evaluate(design.name, design.tech, dr_result)
     result.runtime["DR"] = sp.wall_s
-    result.quality = evaluate(design.name, design.tech, dr_result)

@@ -12,6 +12,8 @@ import heapq
 from itertools import count
 
 from repro.grid import CostModel, GridEdge, RoutingGraph
+from repro.guard.deadline import check_deadline
+from repro.guard.faults import fault_point
 from repro.obs import get_metrics
 
 Node = tuple[int, int, int]  # (layer, gx, gy)
@@ -36,6 +38,9 @@ def maze_route(
         return None
     if sources & targets:
         return []
+    # "disconnect" forces the no-path result; a "fail" fault raises here.
+    if fault_point("groute.maze") is not None:
+        return None
 
     xs = [n[1] for n in sources | targets]
     ys = [n[2] for n in sources | targets]
@@ -63,6 +68,8 @@ def maze_route(
     expansions = 0
     try:
         while open_heap:
+            if expansions % 256 == 0:
+                check_deadline("groute.maze")
             f, _, node = heapq.heappop(open_heap)
             g = g_score[node]
             if f > g + heuristic(node) + 1e-9:

@@ -12,7 +12,10 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.geom import Point, Rect
+from repro.guard.deadline import DeadlineExceeded, check_deadline
 from repro.db import Design, Net
 from repro.flute import build_rsmt
 from repro.grid import (
@@ -103,7 +106,13 @@ class GlobalRouter:
     # -------------------------------------------------------------- routing
 
     def route_all(self, rrr_passes: int = 3) -> None:
-        """Route every net, then run rip-up-and-reroute on overflows."""
+        """Route every net, then run rip-up-and-reroute on overflows.
+
+        Deadline semantics: initial routing is mandatory, so a deadline
+        expiring there propagates :class:`DeadlineExceeded`.  The RRR
+        passes are an improvement loop and degrade gracefully — see
+        :meth:`improve`.
+        """
         tracer = get_tracer()
         with tracer.span("groute.initial"):
             order = sorted(
@@ -111,11 +120,28 @@ class GlobalRouter:
                 key=lambda n: (self.design.net_hpwl(n), n.name),
             )
             for net in order:
+                check_deadline("groute.initial")
                 self.route_net(net.name)
-        with tracer.span("groute.rrr"):
-            for _ in range(rrr_passes):
-                if not self._rrr_pass():
-                    break
+        self.improve(rrr_passes)
+
+    def improve(self, rrr_passes: int = 3) -> int:
+        """Run up to ``rrr_passes`` RRR passes; returns passes completed.
+
+        A deadline expiring mid-pass stops the loop instead of raising:
+        every committed route is still valid, just less optimized.  The
+        early stop is visible as ``groute.rrr_deadline_stops``.
+        """
+        completed = 0
+        with get_tracer().span("groute.rrr"):
+            try:
+                for _ in range(rrr_passes):
+                    check_deadline("groute.rrr")
+                    if not self._rrr_pass():
+                        break
+                    completed += 1
+            except DeadlineExceeded:
+                get_metrics().count("groute.rrr_deadline_stops")
+        return completed
 
     def route_net(self, net_name: str) -> NetRoute:
         """(Re)route one net with RSMT + 3D pattern routing."""
@@ -249,21 +275,36 @@ class GlobalRouter:
         return True
 
     def _maze_reroute(self, net_name: str) -> None:
-        """Reroute one net terminal-by-terminal with overflow-averse A*."""
+        """Reroute one net terminal-by-terminal with overflow-averse A*.
+
+        Deadline-safe: if the maze search runs out of budget mid-net,
+        the remaining terminals are connected with cheap pattern routes,
+        the route is committed (so accounting stays consistent), and the
+        deadline propagates to stop the RRR loop.
+        """
         self.rip_up(net_name)
         net = self.design.nets[net_name]
         terminals = self.terminals_of(net)
         route = NetRoute(net=net_name, terminals=terminals)
+        deadline: DeadlineExceeded | None = None
         if len(terminals) > 1:
             connected: set[Node] = {terminals[0]}
             for terminal in terminals[1:]:
-                path = maze_route(
-                    self.graph,
-                    self.cost,
-                    sources=set(connected),
-                    targets={terminal},
-                    overflow_penalty=10.0 * self.cost.params.via_weight,
-                )
+                path: list[GridEdge] | None
+                if deadline is None:
+                    try:
+                        path = maze_route(
+                            self.graph,
+                            self.cost,
+                            sources=set(connected),
+                            targets={terminal},
+                            overflow_penalty=10.0 * self.cost.params.via_weight,
+                        )
+                    except DeadlineExceeded as exc:
+                        deadline = exc
+                        path = None
+                else:
+                    path = None
                 if path is None:
                     get_metrics().count("groute.maze_fallbacks")
                     fallback = self._route_segment(
@@ -277,6 +318,70 @@ class GlobalRouter:
                     connected.add(a)
                     connected.add(b)
         self._commit(route)
+        if deadline is not None:
+            raise deadline
+
+    # ------------------------------------------------- snapshot & restore
+
+    def copy_route(self, net_name: str) -> NetRoute | None:
+        """A detached copy of a net's committed route (``None`` if unrouted).
+
+        Used by :class:`repro.guard.IterationTransaction` to snapshot
+        dirty nets before CR&P's Update-Database step.
+        """
+        route = self.routes.get(net_name)
+        if route is None:
+            return None
+        return NetRoute(
+            net=route.net, edges=set(route.edges), terminals=list(route.terminals)
+        )
+
+    def restore_route(self, net_name: str, route: NetRoute | None) -> None:
+        """Replace a net's committed route with a snapshot (rollback)."""
+        self.rip_up(net_name)
+        if route is not None:
+            self._commit(
+                NetRoute(
+                    net=route.net,
+                    edges=set(route.edges),
+                    terminals=list(route.terminals),
+                )
+            )
+
+    def accounting_errors(self) -> list[str]:
+        """Check graph demand against the committed routes.
+
+        Rebuilds the expected wire/via usage arrays from ``self.routes``
+        and compares them with the incrementally-maintained graph state;
+        a mismatch means a commit/rip-up bug (or a botched rollback).
+        Returns human-readable mismatch descriptions, empty when clean.
+        """
+        expected_wire = [np.zeros_like(u) for u in self.graph.wire_usage]
+        expected_via = [np.zeros_like(u) for u in self.graph.via_usage]
+        for route in self.routes.values():
+            for edge in route.edges:
+                if edge.kind is EdgeKind.WIRE:
+                    expected_wire[edge.layer][edge.gx, edge.gy] += 1
+                else:
+                    expected_via[edge.layer][edge.gx, edge.gy] += 1
+        errors: list[str] = []
+        for layer, (expected, actual) in enumerate(
+            zip(expected_wire, self.graph.wire_usage)
+        ):
+            if not np.allclose(expected, actual):
+                delta = float(np.abs(expected - actual).sum())
+                errors.append(
+                    f"wire demand mismatch on layer {layer} (|delta|={delta:g})"
+                )
+        for layer, (expected, actual) in enumerate(
+            zip(expected_via, self.graph.via_usage)
+        ):
+            if not np.array_equal(expected, actual):
+                delta = int(np.abs(expected - actual).sum())
+                errors.append(
+                    f"via demand mismatch below layer {layer + 1} (|delta|={delta})"
+                )
+        return errors
 
     # ------------------------------------------------------------- queries
 

@@ -1,0 +1,90 @@
+"""The ILP fallback ladder: scipy -> bnb -> exhaustive -> greedy.
+
+``repro.ilp.solve(backend="auto")`` runs solves through this ladder.
+Each rung is attempted in order and abandoned — counting
+``guard.fallbacks`` plus ``guard.fallback.<rung>`` — when it raises,
+returns an infeasible/error status, or the ambient deadline expires.
+Deadline expiry skips the remaining exact rungs and goes straight to
+the greedy heuristic, whose runtime is linear in the model, so a solve
+under a blown budget still returns *a* feasible answer when one exists.
+
+The greedy rung returns ``SolveStatus.FEASIBLE`` (valid but not proven
+optimal); exact rungs return ``OPTIMAL``/``INFEASIBLE`` as before.  An
+``INFEASIBLE`` verdict is cross-checked on the next exact rung rather
+than trusted immediately, because a buggy (or fault-injected) backend
+claiming infeasibility would otherwise silently discard work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.guard.deadline import DeadlineExceeded, check_deadline
+from repro.ilp.solution import Solution, SolveStatus
+from repro.obs import get_metrics
+
+#: exact rungs, in preference order; greedy is the always-last resort
+EXACT_RUNGS = ("scipy", "bnb", "exhaustive")
+
+Dispatch = Callable[[object, str], Solution]
+
+
+def _applicable_exact_rungs(model) -> list[str]:
+    from repro.ilp.exhaustive import MAX_EXHAUSTIVE_VARS
+
+    rungs = ["scipy", "bnb"]
+    if model.all_binary and model.num_variables <= MAX_EXHAUSTIVE_VARS:
+        rungs.append("exhaustive")
+    return rungs
+
+
+def _record_fallback(rung: str, reason: str) -> None:
+    metrics = get_metrics()
+    metrics.count("guard.fallbacks")
+    metrics.count(f"guard.fallback.{rung}")
+    metrics.count(f"guard.fallback_reason.{reason}")
+
+
+def run_ladder(model, dispatch: Dispatch) -> Solution:
+    """Solve ``model`` via the fallback ladder; never raises a backend error.
+
+    ``dispatch`` is :func:`repro.ilp.solver._dispatch` (injected to keep
+    the import graph acyclic).  Returns the first usable solution; when
+    every rung fails, returns the last non-ok verdict (so a consistent
+    ``INFEASIBLE`` survives) or an ``ERROR`` solution.
+    """
+    last: Solution | None = None
+    for rung in _applicable_exact_rungs(model):
+        try:
+            check_deadline(f"ilp.{rung}")
+            solution = dispatch(model, rung)
+        except DeadlineExceeded:
+            _record_fallback(rung, "deadline")
+            break
+        except Exception as exc:  # noqa: BLE001 — any backend fault falls through
+            _record_fallback(rung, type(exc).__name__)
+            continue
+        if solution.status is SolveStatus.OPTIMAL:
+            return solution
+        _record_fallback(rung, solution.status.value)
+        if solution.status is SolveStatus.INFEASIBLE:
+            if last is not None and last.status is SolveStatus.INFEASIBLE:
+                # Two independent exact backends agree: truly infeasible.
+                return solution
+            last = solution
+        elif last is None:
+            last = solution
+
+    if model.all_binary:
+        try:
+            greedy = dispatch(model, "greedy")
+        except Exception as exc:  # noqa: BLE001
+            _record_fallback("greedy", type(exc).__name__)
+            greedy = None
+        if greedy is not None and greedy.ok:
+            # A feasible greedy answer overrules a single unconfirmed
+            # INFEASIBLE verdict; with no verdict at all it is the answer.
+            return greedy
+    if last is not None:
+        return last
+    return Solution(status=SolveStatus.ERROR, backend="ladder")

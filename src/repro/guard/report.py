@@ -1,0 +1,44 @@
+"""Structured failure capture for stage-level error isolation.
+
+When a flow stage dies, ``run_flow`` converts the exception into a
+:class:`FailureReport` on the :class:`~repro.flow.pipeline.FlowResult`
+instead of crashing the whole run, so callers still get the partial
+metrics and the stages that did complete.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class FailureReport:
+    """What went wrong in one flow stage."""
+
+    stage: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    #: metrics snapshot taken when the failure was recorded
+    metrics: dict[str, dict[str, object]] | None = None
+
+    @classmethod
+    def from_exception(
+        cls,
+        stage: str,
+        exc: BaseException,
+        metrics: dict[str, dict[str, object]] | None = None,
+    ) -> "FailureReport":
+        return cls(
+            stage=stage,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            metrics=metrics,
+        )
+
+    def summary(self) -> str:
+        return f"{self.stage}: {self.error_type}: {self.message}"

@@ -1,12 +1,15 @@
 """Integer linear programming substrate (replaces CPLEX).
 
-A small modeling layer plus three interchangeable exact backends:
+A small modeling layer plus four interchangeable backends:
 
 * ``scipy`` — :func:`scipy.optimize.milp` (HiGHS branch-and-cut),
 * ``bnb``   — a pure-Python branch-and-bound over LP relaxations,
-* ``exhaustive`` — enumeration for tiny all-binary models.
+* ``exhaustive`` — enumeration for tiny all-binary models,
+* ``greedy`` — a feasibility heuristic (no optimality proof).
 
-``solve`` picks automatically: HiGHS when available, otherwise B&B.
+``solve(backend="auto")`` runs the :mod:`repro.guard.ladder` fallback
+ladder across them, so a backend exception, a bogus infeasible verdict,
+or a blown deadline degrades the solve instead of killing the flow.
 """
 
 from repro.ilp.model import Constraint, IlpModel, LinTerm, Sense, Variable

@@ -13,6 +13,7 @@ import math
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.guard.deadline import check_deadline
 from repro.ilp.model import IlpModel, Sense
 from repro.ilp.solution import Solution, SolveStatus
 
@@ -35,6 +36,8 @@ def solve_bnb(model: IlpModel, max_nodes: int = 20000) -> Solution:
     nodes = 0
 
     while stack and nodes < max_nodes:
+        if nodes % 128 == 0:
+            check_deadline("ilp.bnb")
         lb, ub = stack.pop()
         nodes += 1
         relax = _solve_lp(cost, a_ub, b_ub, a_eq, b_eq, lb, ub)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from itertools import product
 
+from repro.guard.deadline import check_deadline
 from repro.ilp.model import IlpModel
 from repro.ilp.solution import Solution, SolveStatus
 
@@ -23,7 +24,9 @@ def solve_exhaustive(model: IlpModel) -> Solution:
         raise ValueError(f"exhaustive backend limited to {MAX_EXHAUSTIVE_VARS} vars")
     best: list[float] | None = None
     best_obj = float("inf")
-    for assignment in product((0.0, 1.0), repeat=n):
+    for i, assignment in enumerate(product((0.0, 1.0), repeat=n)):
+        if i % 4096 == 0:
+            check_deadline("ilp.exhaustive")
         values = list(assignment)
         if not model.is_feasible(values):
             continue

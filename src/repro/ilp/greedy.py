@@ -1,0 +1,84 @@
+"""Greedy heuristic backend — the fallback ladder's last resort.
+
+Only handles all-binary models (which every model in this repo is: the
+selection ILP and the window-legalizer ILPs).  Two passes:
+
+1. satisfy each EQ/GE constraint by raising its cheapest still-settable
+   variable, respecting every LE/EQ upper bound already in force;
+2. raise any remaining negative-cost variable that stays feasible.
+
+Runtime is O(variables * constraints) — no search, no LP — so it
+terminates fast even when the exact backends just blew a deadline.  The
+result is validated with :meth:`IlpModel.is_feasible` and returned as
+``SolveStatus.FEASIBLE`` (valid, not proven optimal); an assignment the
+greedy rules cannot legalize yields ``SolveStatus.ERROR``.
+"""
+
+from __future__ import annotations
+
+from repro.ilp.model import IlpModel, Sense
+from repro.ilp.solution import Solution, SolveStatus
+
+_TOL = 1e-9
+
+
+def solve_greedy(model: IlpModel) -> Solution:
+    """Construct a feasible (not necessarily optimal) 0/1 assignment."""
+    if not model.all_binary:
+        raise ValueError("greedy backend requires an all-binary model")
+    n = model.num_variables
+    if n == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=0.0, backend="greedy")
+
+    values = [0.0] * n
+    # var index -> constraints that cap it from above (LE, or EQ at rhs)
+    capping: dict[int, list[int]] = {v.index: [] for v in model.variables}
+    for ci, c in enumerate(model.constraints):
+        if c.sense in (Sense.LE, Sense.EQ):
+            for t in c.terms:
+                if t.coeff > 0:
+                    capping[t.var].append(ci)
+
+    def lhs_of(ci: int) -> float:
+        return sum(t.coeff * values[t.var] for t in model.constraints[ci].terms)
+
+    def can_set(var: int) -> bool:
+        for ci in capping[var]:
+            c = model.constraints[ci]
+            coeff = sum(t.coeff for t in c.terms if t.var == var)
+            if lhs_of(ci) + coeff > c.rhs + _TOL:
+                return False
+        return True
+
+    # Pass 1: meet every lower-bounding constraint, cheapest variable first.
+    for ci, c in enumerate(model.constraints):
+        if c.sense is Sense.LE:
+            continue
+        while lhs_of(ci) < c.rhs - _TOL:
+            settable = [
+                t.var
+                for t in c.terms
+                if t.coeff > 0 and values[t.var] < 0.5 and can_set(t.var)
+            ]
+            if not settable:
+                break  # cannot legalize; is_feasible will reject below
+            best = min(settable, key=lambda v: model.variables[v].cost)
+            values[best] = 1.0
+
+    # Pass 2: take any remaining profitable variable that stays feasible.
+    profitable = sorted(
+        (v for v in model.variables if v.cost < 0 and values[v.index] < 0.5),
+        key=lambda v: v.cost,
+    )
+    for v in profitable:
+        if can_set(v.index):
+            values[v.index] = 1.0
+
+    if not model.is_feasible(values):
+        return Solution(status=SolveStatus.ERROR, backend="greedy")
+    return Solution(
+        status=SolveStatus.FEASIBLE,
+        objective=model.objective_value(values),
+        values={v.name: values[v.index] for v in model.variables},
+        backend="greedy",
+    )

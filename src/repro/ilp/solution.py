@@ -10,6 +10,8 @@ class SolveStatus(Enum):
     """Outcome of an ILP solve."""
 
     OPTIMAL = "optimal"
+    #: valid assignment without an optimality proof (greedy ladder rung)
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     ERROR = "error"
 
@@ -25,7 +27,7 @@ class Solution:
 
     @property
     def ok(self) -> bool:
-        return self.status is SolveStatus.OPTIMAL
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
 
     def value(self, name: str) -> float:
         return self.values[name]

@@ -70,6 +70,7 @@ class WindowLegalizer:
         max_cells: int = 3,
         max_targets: int = 8,
         backend: str = "auto",
+        ilp_budget_s: float | None = None,
     ) -> None:
         self.design = design
         self.n_sites = n_sites
@@ -77,6 +78,7 @@ class WindowLegalizer:
         self.max_cells = max_cells
         self.max_targets = max_targets
         self.backend = backend
+        self.ilp_budget_s = ilp_budget_s
 
     # ------------------------------------------------------------------ API
 
@@ -340,7 +342,7 @@ class WindowLegalizer:
                     name=f"slot[{row_order}][{local}]",
                 )
 
-        solution = solve(model, backend=self.backend)
+        solution = solve(model, backend=self.backend, budget_s=self.ilp_budget_s)
         if not solution.ok:
             return None
 

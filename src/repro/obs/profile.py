@@ -34,6 +34,8 @@ class ProfileReport:
     runtime: dict[str, float]
     breakdown_pct: dict[str, float] | None
     summary_line: str
+    failed: bool = False
+    legal: bool = True
 
     def document(self) -> dict[str, object]:
         """JSON-able per-design record for ``BENCH_obs.json``."""
@@ -41,6 +43,8 @@ class ProfileReport:
             "design": self.design,
             "mode": self.mode,
             "iterations": self.iterations,
+            "failed": self.failed,
+            "legal": self.legal,
             "runtime_s": {k: round(v, 6) for k, v in self.runtime.items()},
             "total_runtime_s": round(sum(self.runtime.values()), 6),
             "spans": bench_summary(self.trace),
@@ -93,6 +97,8 @@ def profile_flow(
         runtime=dict(result.runtime),
         breakdown_pct=breakdown,
         summary_line=result.summary(),
+        failed=result.failed,
+        legal=result.legal,
     )
 
 
