@@ -1,0 +1,88 @@
+"""``python -m repro.analyze [paths...]`` — run the AST linter.
+
+Exit status is 1 when any error-severity finding survives suppression
+(warnings and infos never fail the run), matching the CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analyze.findings import render_findings, report_document, write_report
+from repro.analyze.linter import LintConfig, lint_paths
+from repro.analyze.rules import rule_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Lint Python sources with the repo-specific rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default="",
+        help="comma-separated rule IDs to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default="",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--relative-to",
+        metavar="DIR",
+        default=".",
+        help="report paths relative to DIR (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    config = LintConfig(
+        select=tuple(s for s in args.select.split(",") if s),
+        ignore=tuple(s for s in args.ignore.split(",") if s),
+    )
+    result = lint_paths(
+        list(args.paths), config, relative_to=Path(args.relative_to)
+    )
+    document = report_document(
+        result.findings,
+        tool="repro.analyze",
+        files_scanned=result.files_scanned,
+        suppressed=result.suppressed,
+        rule_table=rule_table(),
+    )
+    if args.output:
+        write_report(args.output, document)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(document, indent=1))
+    else:
+        print(render_findings(result.findings, suppressed=result.suppressed))
+        print(f"scanned {result.files_scanned} file(s)")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""The AST lint engine: file walking, noqa suppression, rule dispatch.
+
+Pure stdlib.  The engine parses each file once, hands the module to
+every registered rule checker (:mod:`repro.analyze.rules`), and turns
+the raw ``(node, message)`` pairs into :class:`Finding` records —
+after dropping any occurrence suppressed by an inline
+``# repro: noqa:RULE-ID`` comment on the flagged physical line.
+
+The run itself is observable: it executes inside an ``analyze.lint``
+span and counts ``analyze.files`` / ``analyze.findings`` /
+``analyze.findings.<severity>`` / ``analyze.suppressed`` through
+whatever ``repro.obs`` metrics registry is active.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules import CHECKERS, RULES, ModuleContext
+from repro.obs import get_metrics, get_tracer
+
+#: ``# repro: noqa`` or ``# repro: noqa:REPRO-D001,REPRO-G002 — why``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?::\s*([A-Za-z0-9,\- ]+))?")
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """What to run and where; empty tuples mean "no restriction"."""
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+
+    def active_rules(self) -> list[str]:
+        rules = sorted(RULES)
+        if self.select:
+            rules = [r for r in rules if r in self.select]
+        return [r for r in rules if r not in self.ignore]
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    #: files that failed to parse, as (path, message) — reported as
+    #: PARSE-ERROR findings too, so they can never pass silently
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+
+def suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Per-line noqa map: line number -> suppressed rule IDs (None = all)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        spec = match.group(1)
+        if spec is None:
+            out[lineno] = None
+        else:
+            # The justification often follows an em/double dash; only the
+            # comma-separated IDs before any dash-word count.
+            ids = frozenset(
+                token
+                for token in (t.strip() for t in spec.split(","))
+                if re.fullmatch(r"[A-Z]+-[A-Z]\d+", token)
+            )
+            out[lineno] = out.get(lineno) or ids
+    return out
+
+
+def _to_location(raw: object) -> tuple[int, int]:
+    if isinstance(raw, ast.AST):
+        return getattr(raw, "lineno", 0), getattr(raw, "col_offset", 0)
+    if isinstance(raw, int):
+        return raw, 0
+    return 0, 0
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; returns (findings, suppressed count)."""
+    config = config or LintConfig()
+    posix = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="PARSE-ERROR",
+            severity=Severity.ERROR,
+            path=posix,
+            line=exc.lineno or 0,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; unparseable files are unlinted",
+        )
+        return [finding], 0
+    ctx = ModuleContext(posix, source, tree)
+    noqa = suppressions(source)
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule_id in config.active_rules():
+        spec = RULES[rule_id]
+        if not spec.applies_to(posix):
+            continue
+        severity = spec.severity_for(posix)
+        for raw, message in CHECKERS[rule_id](ctx):
+            line, col = _to_location(raw)
+            if line in noqa and (noqa[line] is None or rule_id in noqa[line]):
+                suppressed += 1
+                continue
+            findings.append(
+                Finding(
+                    rule=rule_id,
+                    severity=severity,
+                    path=posix,
+                    line=line,
+                    message=message,
+                    hint=spec.hint,
+                    col=col,
+                )
+            )
+    findings.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            seen.update(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            seen.add(p)
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+    *,
+    relative_to: str | Path | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (observed, deterministic).
+
+    ``relative_to`` rewrites finding paths relative to a root (posix
+    separators) so reports are machine-independent and diffable.
+    """
+    result = LintResult()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span("analyze.lint"):
+        for file_path in iter_python_files(paths):
+            report_path = file_path
+            if relative_to is not None:
+                try:
+                    report_path = file_path.resolve().relative_to(
+                        Path(relative_to).resolve()
+                    )
+                except ValueError:
+                    report_path = file_path
+            try:
+                source = file_path.read_text()
+            except OSError as exc:
+                result.parse_errors.append((str(report_path), str(exc)))
+                continue
+            findings, suppressed = lint_source(
+                source, Path(report_path).as_posix(), config
+            )
+            for finding in findings:
+                if finding.rule == "PARSE-ERROR":
+                    result.parse_errors.append(
+                        (finding.path, finding.message)
+                    )
+            result.findings.extend(findings)
+            result.suppressed += suppressed
+            result.files_scanned += 1
+        result.findings.sort(key=Finding.sort_key)
+        metrics.count("analyze.files", result.files_scanned)
+        metrics.count("analyze.findings", len(result.findings))
+        metrics.count("analyze.suppressed", result.suppressed)
+        for severity in Severity:
+            n = sum(
+                1 for f in result.findings if f.severity is severity
+            )
+            if n:
+                metrics.count(f"analyze.findings.{severity.value}", n)
+    return result

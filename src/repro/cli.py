@@ -12,6 +12,10 @@ Subcommands:
   print the per-stage span tree + metrics, and write ``BENCH_obs.json``.
 * ``crp dump -b ispd18_test2 -o outdir`` — write LEF/DEF/guides for a
   synthetic benchmark.
+* ``crp check -b ispd18_test1 --crp 2`` — route a benchmark, then audit
+  the flow invariants (demand accounting, route connectivity, guide
+  coverage, placement legality); ``python -m repro.analyze src/`` is
+  the companion source-code linter.
 """
 
 from __future__ import annotations
@@ -77,6 +81,27 @@ def main(argv: list[str] | None = None) -> int:
     p_dump.add_argument("-b", "--bench", required=True)
     p_dump.add_argument("-o", "--out", default=".")
 
+    p_check = sub.add_parser(
+        "check",
+        help="audit flow invariants (accounting/connectivity/legality/ILP)",
+    )
+    p_check.add_argument(
+        "-b", "--bench", "--design", dest="bench", default="ispd18_test1",
+        help="benchmark design to route and audit (default: ispd18_test1)",
+    )
+    p_check.add_argument(
+        "--crp", type=int, default=0, metavar="K",
+        help="run K CR&P iterations before auditing",
+    )
+    p_check.add_argument(
+        "--skip-routing", action="store_true",
+        help="audit placement legality only (no global routing run)",
+    )
+    p_check.add_argument(
+        "--json", metavar="PATH",
+        help="write the JSON (SARIF-lite) report to this path",
+    )
+
     p_show = sub.add_parser("show", help="ASCII congestion map + SVG plot")
     p_show.add_argument("-b", "--bench", required=True)
     p_show.add_argument("--svg", help="write an SVG die plot to this path")
@@ -96,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_suite(args)
     if args.command == "dump":
         return _cmd_dump(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "show":
         return _cmd_show(args)
     return 2
@@ -239,6 +266,41 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     )
     print(f"wrote {args.bench}.lef/.def/.guide to {out}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analyze import (
+        FLOW_RULES,
+        check_flow_state,
+        render_findings,
+        report_document,
+        write_report,
+    )
+    from repro.benchgen import make_design
+    from repro.core import CrpConfig, CrpFramework
+    from repro.groute import GlobalRouter
+    from repro.obs import ensure_observation
+
+    design = make_design(args.bench)
+    with ensure_observation():
+        router = None
+        if not args.skip_routing:
+            router = GlobalRouter(design)
+            router.route_all()
+            if args.crp > 0:
+                CrpFramework(design, router, CrpConfig(seed=0)).run(args.crp)
+        findings = check_flow_state(design, router)
+    print(render_findings(findings))
+    if args.json:
+        document = report_document(
+            findings,
+            tool="repro.analyze.check",
+            rule_table=FLOW_RULES,
+            extra={"design": args.bench, "crp_iterations": args.crp},
+        )
+        path = write_report(args.json, document)
+        print(f"wrote report to {path}")
+    return 1 if findings else 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.droute.lattice import LNode, TrackLattice
 from repro.droute.obstacles import BLOCKED
+from repro.guard.deadline import check_deadline
 from repro.obs import get_metrics
 
 
@@ -127,6 +128,8 @@ def astar_connect(
             if g > g_score.get(node, float("inf")):
                 continue
             expansions += 1
+            if expansions % 256 == 0:
+                check_deadline("droute.astar")
             if node in targets:
                 return _build_result(node, came_from, g, net, owner, occupancy)
             layer, ix, iy = node

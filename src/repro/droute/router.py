@@ -127,7 +127,7 @@ class DetailedRouter:
             metrics = get_metrics()
             metrics.count("droute.rrr_rounds")
             metrics.count("droute.ripped_nets", len(ripped))
-            for name in ripped:
+            for name in sorted(ripped):
                 for node in net_nodes.pop(name, ()):
                     if occupancy.get(node) == name:
                         del occupancy[node]
@@ -274,7 +274,7 @@ class DetailedRouter:
         patch_counts[net.name] = self._patch_min_area(
             net.name, used, pin_nodes[net.name], owner, occupancy
         )
-        for node in used:
+        for node in sorted(used):
             occupancy.setdefault(node, net.name)
         net_nodes[net.name] = used
         result.paths[net.name] = paths
@@ -313,6 +313,7 @@ class DetailedRouter:
             )
             remaining = set(points)
             while remaining:
+                check_deadline("droute.patch")
                 seed = remaining.pop()
                 component = {seed}
                 stack = [seed]

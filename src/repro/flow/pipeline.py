@@ -137,7 +137,7 @@ def _stage(result: FlowResult, name: str, metrics, budget_s: float | None) -> It
     try:
         with deadline_scope(budget_s, name=f"flow.{name}"):
             yield
-    except Exception as exc:  # noqa: BLE001 — isolation is the point
+    except Exception as exc:  # repro: noqa:REPRO-G002 — isolation is the point; expiry becomes a FailureReport, not a hang
         result.failed = True
         result.failure = FailureReport.from_exception(
             name, exc, metrics=metrics.snapshot()

@@ -182,6 +182,7 @@ class GlobalRouter:
             layer_of[0] = 0
         stack = [0]
         while stack:
+            check_deadline("groute.tree")
             u = stack.pop()
             for v in adjacency[u]:
                 if v in visited:

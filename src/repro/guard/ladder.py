@@ -78,7 +78,7 @@ def run_ladder(model, dispatch: Dispatch) -> Solution:
     if model.all_binary:
         try:
             greedy = dispatch(model, "greedy")
-        except Exception as exc:  # noqa: BLE001
+        except Exception as exc:  # repro: noqa:REPRO-G002 — greedy is the post-deadline last resort; its death must not mask `last`
             _record_fallback("greedy", type(exc).__name__)
             greedy = None
         if greedy is not None and greedy.ok:

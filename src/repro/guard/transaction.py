@@ -65,7 +65,7 @@ class IterationTransaction:
                 continue
             touched.add(candidate.cell)
             touched.update(candidate.conflict_moves)
-        for name in touched:
+        for name in sorted(touched):
             cell = design.cells[name]
             txn.cells[name] = (cell.x, cell.y, cell.orient)
         for net_name in router.dirty_nets_for_cells(sorted(touched)):

@@ -125,7 +125,10 @@ class IlpModel:
     @property
     def all_binary(self) -> bool:
         return all(
-            v.integral and v.lower == 0.0 and v.upper == 1.0 for v in self.variables
+            # bounds are assigned from these exact literals in
+            # add_binary/add_variable, never computed
+            v.integral and v.lower == 0.0 and v.upper == 1.0  # repro: noqa:REPRO-D003
+            for v in self.variables
         )
 
     def objective_value(self, values: list[float]) -> float:

@@ -43,7 +43,7 @@ class LegalizedCandidate:
 
     @property
     def is_current(self) -> bool:
-        return not self.conflict_moves and self.displacement == 0.0
+        return not self.conflict_moves and abs(self.displacement) <= 1e-9
 
 
 @dataclass(slots=True)

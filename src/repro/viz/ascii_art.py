@@ -20,7 +20,7 @@ def congestion_heatmap(router: GlobalRouter) -> str:
         for gx in range(cmap.shape[0]):
             value = cmap[gx, gy]
             for threshold, glyph in _LEVELS:
-                if value > threshold or threshold == 0.0:
+                if value > threshold or threshold <= 0.0:
                     row.append(glyph)
                     break
         lines.append("|" + "".join(row) + "|")
@@ -80,7 +80,7 @@ def placement_map(design: Design, width: int = 64) -> str:
                 continue
             util = density[gx, gy] / tile_area
             for threshold, glyph in _LEVELS:
-                if util > threshold or threshold == 0.0:
+                if util > threshold or threshold <= 0.0:
                     row.append(glyph)
                     break
         lines.append("|" + "".join(row) + "|")

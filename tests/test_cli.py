@@ -52,3 +52,21 @@ def test_show_renders_heatmap(tmp_path, capsys):
     assert "Metal1" in out
     assert svg.exists()
     assert svg.read_text().startswith("<svg")
+
+
+def test_check_clean_flow(tmp_path, capsys):
+    report = tmp_path / "check.json"
+    assert main(["check", "-b", "ispd18_test1", "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    import json
+
+    document = json.loads(report.read_text())
+    assert document["schema"] == "repro.analyze/1"
+    assert document["design"] == "ispd18_test1"
+    assert document["findings"] == []
+
+
+def test_check_skip_routing(capsys):
+    assert main(["check", "-b", "ispd18_test1", "--skip-routing"]) == 0
+    assert "clean" in capsys.readouterr().out
