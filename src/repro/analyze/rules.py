@@ -381,8 +381,9 @@ def _check_fs_order(ctx: ModuleContext):
     "REPRO-G001",
     Severity.ERROR,
     "unbounded loop in a routing/solver engine without a Deadline check",
-    "call `check_deadline(\"<site>\")` inside the loop (see "
-    "`repro.guard.deadline`), or bound the loop with an explicit counter",
+    "call `check_deadline(\"<site>\")` or `DeadlineTicker.tick()` inside "
+    "the loop (see `repro.guard.deadline`), or bound the loop with an "
+    "explicit counter",
     path_scope=DEADLINE_PATHS,
 )
 def _check_unbounded_loops(ctx: ModuleContext):
@@ -390,17 +391,24 @@ def _check_unbounded_loops(ctx: ModuleContext):
         """A comparison anywhere in the test counts as an explicit bound."""
         return any(isinstance(n, ast.Compare) for n in ast.walk(test))
 
-    # A while loop is compliant when a check_deadline call is reachable
-    # once per iteration: inside its own body, or inside an enclosing
-    # loop's body (the enclosing loop re-checks between inner runs).
+    def checks_deadline(node: ast.AST) -> bool:
+        """Either a direct check or a strided DeadlineTicker tick."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                name = _call_name(sub).split(".")[-1]
+                if name in ("check_deadline", "tick"):
+                    return True
+        return False
+
+    # A while loop is compliant when a deadline check is reachable once
+    # per iteration: inside its own body, or inside an enclosing loop's
+    # body (the enclosing loop re-checks between inner runs).
     loops: list[tuple[ast.While, bool]] = []  # (node, covered by ancestor)
     def visit(node: ast.AST, covered: bool) -> None:
         for child in ast.iter_child_nodes(node):
             child_covered = covered
             if isinstance(child, (ast.While, ast.For)):
-                child_covered = covered or _contains_call(
-                    child, "check_deadline"
-                )
+                child_covered = covered or checks_deadline(child)
                 if isinstance(child, ast.While):
                     loops.append((child, covered))
             elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -411,7 +419,7 @@ def _check_unbounded_loops(ctx: ModuleContext):
     for loop, covered in loops:
         if is_bounded(loop.test):
             continue
-        if covered or _contains_call(loop, "check_deadline"):
+        if covered or checks_deadline(loop):
             continue
         yield loop, "unbounded `while` loop never checks the deadline stack"
 
@@ -625,3 +633,42 @@ def _check_shadowed_builtins(ctx: ModuleContext):
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             if node.name in _SHADOWABLE and id(node) not in methods:
                 yield node, f"function `{node.name}` shadows the builtin"
+
+
+# ---------------------------------------------------- REPRO-P: performance
+
+
+@rule(
+    "REPRO-P001",
+    Severity.WARNING,
+    "per-edge `edge_cost` call inside a routing hot loop",
+    "price through the dense `repro.grid.field.CostField` maps "
+    "(`wire_cost_maps()`, `run_cost()`, `path_cost()`) instead of scalar "
+    "`edge_cost` calls per edge; keep the scalar oracle only as an "
+    "explicit fallback",
+    path_scope=("/groute/", "/droute/"),
+)
+def _check_scalar_cost_loops(ctx: ModuleContext):
+    loop_types = (
+        ast.For,
+        ast.While,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+    flagged: set[int] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, loop_types):
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and _call_name(sub).split(".")[-1] == "edge_cost"
+                and id(sub) not in flagged
+            ):
+                flagged.add(id(sub))
+                yield sub, (
+                    "scalar `edge_cost` call inside a loop — use the "
+                    "CostField dense maps"
+                )

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.geom import Orientation
 from repro.db import Design
-from repro.grid import CostModel, CostParams
+from repro.grid import CostField, CostModel, CostParams
 from repro.groute import GlobalRouter
 from repro.ilp import IlpModel, Sense, solve
 from repro.legalizer import WindowLegalizer
@@ -68,14 +68,19 @@ class FontanaBaseline:
         self.router = router
         self.backend = backend
         self.time_budget_s = time_budget_s
-        # Congestion-blind pricing: same graph, penalty disabled.
-        self._flat_cost = CostModel(
-            router.graph,
-            CostParams(
-                wire_weight=router.cost.params.wire_weight,
-                via_weight=router.cost.params.via_weight,
-                use_penalty=False,
-            ),
+        # Congestion-blind pricing: same graph, penalty disabled.  The
+        # matching flat CostField rides along so a field-equipped router
+        # keeps its fast path (and never prices with penalty-on maps).
+        flat_params = CostParams(
+            wire_weight=router.cost.params.wire_weight,
+            via_weight=router.cost.params.via_weight,
+            use_penalty=False,
+        )
+        self._flat_cost = CostModel(router.graph, flat_params)
+        self._flat_field = (
+            CostField(router.graph, flat_params)
+            if router.field is not None
+            else None
         )
 
     def run(self, iterations: int = 1) -> FontanaResult:
@@ -137,17 +142,16 @@ class FontanaBaseline:
 
         swap_router_cost = self.router.cost
         self.router.cost = self._flat_cost
-        self.router.pattern3d.cost = self._flat_cost
         try:
-            for name, options in candidates.items():
-                self._check_budget(start)
-                for candidate in options:
-                    candidate.route_cost = estimate_candidate_cost(
-                        design, self.router, candidate
-                    )
+            with self.router.pattern3d.using(self._flat_cost, self._flat_field):
+                for name, options in candidates.items():
+                    self._check_budget(start)
+                    for candidate in options:
+                        candidate.route_cost = estimate_candidate_cost(
+                            design, self.router, candidate
+                        )
         finally:
             self.router.cost = swap_router_cost
-            self.router.pattern3d.cost = swap_router_cost
 
         chosen = self._select(candidates)
         update = apply_moves(design, self.router, chosen)

@@ -109,9 +109,13 @@ class CrpFramework:
         self._rng = random.Random(self.config.seed)
         # Ablation support: estimate candidate costs congestion-blind
         # (use_penalty=False) while the router itself keeps its model.
+        # The cost field must be swapped together with the scalar model,
+        # otherwise a field-equipped pattern router would keep pricing
+        # with the penalty-on maps.
         self._estimate_cost_model = router.cost
+        self._estimate_field = router.field
         if not self.config.use_penalty:
-            from repro.grid import CostModel, CostParams
+            from repro.grid import CostField, CostModel, CostParams
 
             params = CostParams(
                 wire_weight=router.cost.params.wire_weight,
@@ -120,6 +124,11 @@ class CrpFramework:
                 use_penalty=False,
             )
             self._estimate_cost_model = CostModel(router.graph, params)
+            self._estimate_field = (
+                CostField(router.graph, params)
+                if router.field is not None
+                else None
+            )
 
     def run(self, iterations: int = 1) -> CrpResult:
         """Execute ``k`` CR&P iterations (the paper reports k=1 and 10).
@@ -196,16 +205,14 @@ class CrpFramework:
             stats.num_candidates = sum(len(c) for c in candidates.values())
 
             with tracer.span("crp.ECC") as sp:
-                routing_cost_model = self.router.pattern3d.cost
-                self.router.pattern3d.cost = self._estimate_cost_model
-                try:
+                with self.router.pattern3d.using(
+                    self._estimate_cost_model, self._estimate_field
+                ):
                     for cell_candidates in candidates.values():
                         for candidate in cell_candidates:
                             candidate.route_cost = estimate_candidate_cost(
                                 self.design, self.router, candidate
                             )
-                finally:
-                    self.router.pattern3d.cost = routing_cost_model
             stats.runtime["ECC"] = sp.wall_s
 
             with tracer.span("crp.ILP") as sp:

@@ -78,15 +78,18 @@ def estimate_net_cost(
         dst_layer = layer_at.get((pb.x, pb.y))
         best = None
         for path in pattern_paths_2d((pa.x, pa.y), (pb.x, pb.y)):
-            result = router.pattern3d.route(
+            # DP cost only — candidate pricing never needs the edge
+            # lists, and with a cost field each run is two prefix
+            # lookups, making this the cheapest query in the loop.
+            cost = router.pattern3d.route_cost(
                 path,
                 src_layer if src_layer is not None else router.graph.min_wire_layer,
                 dst_layer,
             )
-            if result is None:
+            if cost is None:
                 continue
-            if best is None or result.cost < best:
-                best = result.cost
+            if best is None or cost < best:
+                best = cost
         if best is not None:
             total += best
     return total

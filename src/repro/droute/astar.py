@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.droute.lattice import LNode, TrackLattice
 from repro.droute.obstacles import BLOCKED
-from repro.guard.deadline import check_deadline
+from repro.guard.deadline import DeadlineTicker
 from repro.obs import get_metrics
 
 
@@ -119,6 +119,7 @@ def astar_connect(
     max_expansions = params.max_expansions
     if soft:
         max_expansions = int(max_expansions * params.soft_budget_factor)
+    ticker = DeadlineTicker("droute.astar", stride=64)
 
     # Expansion counts are tallied locally and recorded once in the
     # ``finally`` — the hot loop itself carries no instrumentation.
@@ -128,8 +129,7 @@ def astar_connect(
             if g > g_score.get(node, float("inf")):
                 continue
             expansions += 1
-            if expansions % 256 == 0:
-                check_deadline("droute.astar")
+            ticker.tick()
             if node in targets:
                 return _build_result(node, came_from, g, net, owner, occupancy)
             layer, ix, iy = node

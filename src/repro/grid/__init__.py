@@ -3,6 +3,7 @@
 from repro.grid.gcellgrid import GCellGrid
 from repro.grid.graph import EdgeKind, GridEdge, RoutingGraph
 from repro.grid.cost import CostModel, CostParams
+from repro.grid.field import CostField
 
 __all__ = [
     "GCellGrid",
@@ -11,4 +12,5 @@ __all__ = [
     "EdgeKind",
     "CostModel",
     "CostParams",
+    "CostField",
 ]

@@ -12,14 +12,22 @@ C_e)))``, which *decreases* as demand exceeds capacity — a typo, since
 the text says increasing ``S`` causes "faster overflow in an edge" (the
 penalty must grow with congestion, as in NTHU-Route [22]).  We implement
 the intended ``1 / (1 + exp(-S * (D_e - C_e)))``.
+
+This scalar model is the *reference oracle*: the vectorized
+:class:`repro.grid.field.CostField` kernel is pinned to it bit-for-bit
+(same ``np.exp``, same operation order), and the parity tests enforce
+agreement to 1e-9.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.grid.gcellgrid import GCellGrid
 from repro.grid.graph import EdgeKind, GridEdge, RoutingGraph
+from repro.tech import Technology
 
 
 @dataclass(slots=True)
@@ -38,6 +46,43 @@ class CostParams:
     use_penalty: bool = True
 
 
+def m2_pitch(tech: Technology) -> int:
+    """The wire-length normalization pitch (M2, or M1 on 1-layer stacks)."""
+    pitch_layer = min(len(tech.layers) - 1, 1)
+    return max(1, tech.layers[pitch_layer].pitch)
+
+
+def wire_edge_dists(
+    grid: GCellGrid, tech: Technology, pitch: int
+) -> tuple[float, ...]:
+    """Per-layer Eq. 10 ``Dist(e)`` of one wire edge, in M2-pitch units.
+
+    Adjacent-GCell center distance is constant per layer direction
+    (``step_x`` on horizontal layers, ``step_y`` on vertical ones), so it
+    is computed once here instead of per ``edge_cost`` call; the
+    vectorized :class:`repro.grid.field.CostField` reuses the exact same
+    constants.
+    """
+    return tuple(
+        (grid.step_x if layer.is_horizontal else grid.step_y) / pitch
+        for layer in tech.layers
+    )
+
+
+def logistic(x: float) -> float:
+    """Clamped logistic ``1 / (1 + exp(-x))`` used by the Eq. 10 penalty.
+
+    Uses ``np.exp`` (not ``math.exp``) so the scalar oracle and the
+    vectorized kernel round identically — numpy's scalar and array exp
+    agree bit-for-bit, while libm's may differ by one ulp.
+    """
+    if x > 60.0:
+        return 1.0
+    if x < -60.0:
+        return 0.0
+    return float(1.0 / (1.0 + np.exp(-x)))
+
+
 class CostModel:
     """Evaluates Eq. 10 over a :class:`RoutingGraph`."""
 
@@ -46,8 +91,8 @@ class CostModel:
         self.params = params or CostParams()
         # Normalize wire length to M2-pitch units so wire and via weights
         # are on the contest's common scale.
-        pitch_layer = min(len(graph.tech.layers) - 1, 1)
-        self._pitch = max(1, graph.tech.layers[pitch_layer].pitch)
+        self.pitch = m2_pitch(graph.tech)
+        self._wire_dist = wire_edge_dists(graph.grid, graph.tech, self.pitch)
 
     def penalty(self, edge: GridEdge) -> float:
         """Logistic congestion penalty in [0, 1]."""
@@ -55,22 +100,17 @@ class CostModel:
             return 0.0
         demand = self.graph.demand(edge)
         capacity = self.graph.capacity(edge)
-        x = self.params.slope * (demand - capacity)
-        # Clamp to avoid overflow in exp for wildly congested edges.
-        if x > 60.0:
-            return 1.0
-        if x < -60.0:
-            return 0.0
-        return 1.0 / (1.0 + math.exp(-x))
+        return logistic(self.params.slope * (demand - capacity))
 
     def edge_cost(self, edge: GridEdge) -> float:
         """Eq. 10 cost of one edge."""
         if edge.kind is EdgeKind.VIA:
             return self.params.via_weight
-        grid = self.graph.grid
-        (l0, x0, y0), (_, x1, y1) = edge.endpoints(self.graph)
-        dist = grid.manhattan_centers((x0, y0), (x1, y1)) / self._pitch
-        return self.params.wire_weight * dist * (1.0 + self.penalty(edge))
+        return (
+            self.params.wire_weight
+            * self._wire_dist[edge.layer]
+            * (1.0 + self.penalty(edge))
+        )
 
     def path_cost(self, edges: list[GridEdge]) -> float:
         """Total cost of a route (a list of graph edges)."""
@@ -81,6 +121,6 @@ class CostModel:
     ) -> float:
         """Admissible A* heuristic: congestion-free cost from ``a`` to ``b``."""
         grid = self.graph.grid
-        dist = grid.manhattan_centers((a[1], a[2]), (b[1], b[2])) / self._pitch
+        dist = grid.manhattan_centers((a[1], a[2]), (b[1], b[2])) / self.pitch
         vias = abs(a[0] - b[0])
         return self.params.wire_weight * dist + self.params.via_weight * vias

@@ -73,6 +73,9 @@ class RoutingGraph:
         self.grid = grid
         self.tech = tech
         self.beta = beta
+        #: usage-change listeners (e.g. CostField); a tuple so the notify
+        #: loops in the mutators iterate without allocation
+        self._listeners: tuple = ()
         #: lowest layer wires may run on (M1 is reserved for pin access,
         #: as in CUGR/TritonRoute default configurations)
         self.min_wire_layer = min_wire_layer
@@ -95,6 +98,19 @@ class RoutingGraph:
             self.wire_capacity.append(np.full(shape, tracks, dtype=np.float64))
             self.wire_usage.append(np.zeros(shape, dtype=np.float64))
             self.fixed_usage.append(np.zeros(shape, dtype=np.float64))
+
+    # -------------------------------------------------------------- listeners
+
+    def add_listener(self, listener) -> None:
+        """Subscribe to usage changes.
+
+        ``listener`` must provide ``note_wire(layer, gx, gy)``,
+        ``note_via(layer, gx, gy)`` (via between ``layer``/``layer + 1``),
+        and ``note_all()``.  Every mutator below notifies, so derived
+        caches (the :class:`repro.grid.field.CostField` cost maps) stay
+        coherent through rip-up and transaction rollback for free.
+        """
+        self._listeners = (*self._listeners, listener)
 
     # ------------------------------------------------------------- topology
 
@@ -159,26 +175,39 @@ class RoutingGraph:
         if not self.valid_wire_edge(edge):
             raise ValueError(f"invalid wire edge {edge}")
         self.wire_usage[edge.layer][edge.gx, edge.gy] += amount
+        for listener in self._listeners:
+            listener.note_wire(edge.layer, edge.gx, edge.gy)
 
     def remove_wire(self, edge: GridEdge, amount: float = 1.0) -> None:
         self.wire_usage[edge.layer][edge.gx, edge.gy] -= amount
+        for listener in self._listeners:
+            listener.note_wire(edge.layer, edge.gx, edge.gy)
 
     def add_via(self, edge: GridEdge, amount: int = 1) -> None:
         """Record a via between ``edge.layer`` and ``edge.layer + 1``."""
         if not self.valid_via_edge(edge):
             raise ValueError(f"invalid via edge {edge}")
         self.via_usage[edge.layer][edge.gx, edge.gy] += amount
+        for listener in self._listeners:
+            listener.note_via(edge.layer, edge.gx, edge.gy)
 
     def remove_via(self, edge: GridEdge, amount: int = 1) -> None:
         self.via_usage[edge.layer][edge.gx, edge.gy] -= amount
+        for listener in self._listeners:
+            listener.note_via(edge.layer, edge.gx, edge.gy)
 
     def apply_route(self, edges: list[GridEdge], sign: int = 1) -> None:
         """Commit (+1) or rip up (-1) a whole route's usage."""
+        listeners = self._listeners
         for edge in edges:
             if edge.kind is EdgeKind.WIRE:
                 self.wire_usage[edge.layer][edge.gx, edge.gy] += sign
+                for listener in listeners:
+                    listener.note_wire(edge.layer, edge.gx, edge.gy)
             else:
                 self.via_usage[edge.layer][edge.gx, edge.gy] += sign
+                for listener in listeners:
+                    listener.note_via(edge.layer, edge.gx, edge.gy)
 
     # ---------------------------------------------------------- fixed usage
 
@@ -218,6 +247,8 @@ class RoutingGraph:
             self.fixed_usage[layer][:] = np.minimum(
                 per_edge, self.wire_capacity[layer]
             )
+        for listener in self._listeners:
+            listener.note_all()
 
     # ------------------------------------------------------ demand (Eq. 9)
 

@@ -4,6 +4,13 @@ The fallback when pattern routing cannot find an overflow-free path —
 used by the rip-up-and-reroute passes.  The search is bounded to the
 bounding box of the terminals plus a margin, which keeps RRR tractable
 on large grids.
+
+With a :class:`repro.grid.field.CostField` attached the inner loop reads
+step costs straight out of the dense per-layer maps and generates
+neighbors inline — no ``GridEdge`` construction, no per-edge ``demand()``
+recomputation.  The dense maps are bit-identical to the scalar oracle
+and neighbors are pushed in the same order, so both paths expand the
+same nodes and return the same route.
 """
 
 from __future__ import annotations
@@ -11,8 +18,8 @@ from __future__ import annotations
 import heapq
 from itertools import count
 
-from repro.grid import CostModel, GridEdge, RoutingGraph
-from repro.guard.deadline import check_deadline
+from repro.grid import CostField, CostModel, EdgeKind, GridEdge, RoutingGraph
+from repro.guard.deadline import DeadlineTicker
 from repro.guard.faults import fault_point
 from repro.obs import get_metrics
 
@@ -26,6 +33,7 @@ def maze_route(
     targets: set[Node],
     margin: int = 4,
     overflow_penalty: float = 0.0,
+    field: CostField | None = None,
 ) -> list[GridEdge] | None:
     """Cheapest path from any source to any target.
 
@@ -41,13 +49,37 @@ def maze_route(
     # "disconnect" forces the no-path result; a "fail" fault raises here.
     if fault_point("groute.maze") is not None:
         return None
+    if field is not None:
+        return _maze_route_field(
+            graph, cost_model, sources, targets, margin, overflow_penalty, field
+        )
+    return _maze_route_scalar(
+        graph, cost_model, sources, targets, margin, overflow_penalty
+    )
 
+
+def _window(
+    graph: RoutingGraph, sources: set[Node], targets: set[Node], margin: int
+) -> tuple[int, int, int, int]:
     xs = [n[1] for n in sources | targets]
     ys = [n[2] for n in sources | targets]
     lo_x = max(0, min(xs) - margin)
     hi_x = min(graph.grid.nx - 1, max(xs) + margin)
     lo_y = max(0, min(ys) - margin)
     hi_y = min(graph.grid.ny - 1, max(ys) + margin)
+    return lo_x, hi_x, lo_y, hi_y
+
+
+def _maze_route_scalar(
+    graph: RoutingGraph,
+    cost_model: CostModel,
+    sources: set[Node],
+    targets: set[Node],
+    margin: int,
+    overflow_penalty: float,
+) -> list[GridEdge] | None:
+    """Reference A* pricing every step through the scalar oracle."""
+    lo_x, hi_x, lo_y, hi_y = _window(graph, sources, targets, margin)
 
     def in_window(node: Node) -> bool:
         return lo_x <= node[1] <= hi_x and lo_y <= node[2] <= hi_y
@@ -66,10 +98,10 @@ def maze_route(
     # Expansions are tallied locally and recorded once on exit so the
     # inner loop stays metric-free.
     expansions = 0
+    ticker = DeadlineTicker("groute.maze", stride=64)
     try:
         while open_heap:
-            if expansions % 256 == 0:
-                check_deadline("groute.maze")
+            ticker.tick()
             f, _, node = heapq.heappop(open_heap)
             g = g_score[node]
             if f > g + heuristic(node) + 1e-9:
@@ -80,7 +112,7 @@ def maze_route(
             for neighbour, edge in graph.neighbors(node):
                 if not in_window(neighbour):
                     continue
-                step = cost_model.edge_cost(edge)
+                step = cost_model.edge_cost(edge)  # repro: noqa:REPRO-P001
                 if overflow_penalty > 0.0 and edge.kind.value == "wire":
                     if graph.demand(edge) >= graph.capacity(edge):
                         step += overflow_penalty
@@ -99,6 +131,140 @@ def maze_route(
         metrics.observe("groute.maze_expansions", expansions)
 
 
+def _maze_route_field(
+    graph: RoutingGraph,
+    cost_model: CostModel,
+    sources: set[Node],
+    targets: set[Node],
+    margin: int,
+    overflow_penalty: float,
+    field: CostField,
+) -> list[GridEdge] | None:
+    """Dense-map A*: array step costs, inline neighbors, node-pair edges.
+
+    Neighbor order matches :meth:`RoutingGraph.neighbors` (wire forward,
+    wire backward, via up, via down) so the heap tie counter — and hence
+    the returned path — is identical to the scalar reference.
+    """
+    lo_x, hi_x, lo_y, hi_y = _window(graph, sources, targets, margin)
+    wire_cost = field.wire_cost_maps()  # refreshes the field once
+    via_cost = field.via_cost
+    overflow = None
+    if overflow_penalty > 0.0:
+        demand = field.demand_maps()
+        overflow = [
+            demand[layer] >= graph.wire_capacity[layer]
+            for layer in range(graph.num_layers)
+        ]
+    horizontal = tuple(layer.is_horizontal for layer in graph.tech.layers)
+    num_layers = graph.num_layers
+    min_wire_layer = graph.min_wire_layer
+
+    # The heuristic arithmetic mirrors CostModel.lower_bound operation
+    # for operation, so f-values (and hence pop order) match the scalar
+    # reference; the single-target case just skips the min().
+    wire_w = cost_model.params.wire_weight
+    via_w = cost_model.params.via_weight
+    pitch = cost_model.pitch
+    step_x, step_y = graph.grid.step_x, graph.grid.step_y
+    if len(targets) == 1:
+        t_layer, t_gx, t_gy = next(iter(targets))
+
+        def heuristic(node: Node) -> float:
+            dist = (
+                abs(node[1] - t_gx) * step_x + abs(node[2] - t_gy) * step_y
+            ) / pitch
+            return wire_w * dist + via_w * abs(node[0] - t_layer)
+
+    else:
+
+        def heuristic(node: Node) -> float:
+            return min(cost_model.lower_bound(node, t) for t in targets)
+
+    tie = count()
+    open_heap: list[tuple[float, int, Node]] = []
+    g_score: dict[Node, float] = {}
+    came_from: dict[Node, Node] = {}
+    for s in sources:
+        g_score[s] = 0.0
+        heapq.heappush(open_heap, (heuristic(s), next(tie), s))
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    g_score_get = g_score.get
+    next_tie = tie.__next__
+    inf = float("inf")
+    expansions = 0
+    ticker = DeadlineTicker("groute.maze", stride=64)
+    try:
+        while open_heap:
+            ticker.tick()
+            f, _, node = heappop(open_heap)
+            g = g_score[node]
+            if f > g + heuristic(node) + 1e-9:
+                continue  # stale entry
+            expansions += 1
+            if node in targets:
+                return _reconstruct_nodes(graph, node, came_from)
+            layer, gx, gy = node
+
+            def consider(neighbour: Node, step: float) -> None:
+                tentative = g + step
+                if tentative < g_score_get(neighbour, inf) - 1e-12:
+                    g_score[neighbour] = tentative
+                    came_from[neighbour] = node
+                    heappush(
+                        open_heap,
+                        (tentative + heuristic(neighbour), next_tie(), neighbour),
+                    )
+
+            # Neighbor order matches RoutingGraph.neighbors: wire forward,
+            # wire backward, via up, via down.
+            if layer >= min_wire_layer:
+                cost_row = wire_cost[layer]
+                over_row = overflow[layer] if overflow is not None else None
+                if horizontal[layer]:
+                    if gx + 1 <= hi_x:
+                        step = cost_row[gx, gy]
+                        if over_row is not None and over_row[gx, gy]:
+                            step += overflow_penalty
+                        consider((layer, gx + 1, gy), step)
+                    if gx - 1 >= lo_x:
+                        step = cost_row[gx - 1, gy]
+                        if over_row is not None and over_row[gx - 1, gy]:
+                            step += overflow_penalty
+                        consider((layer, gx - 1, gy), step)
+                else:
+                    if gy + 1 <= hi_y:
+                        step = cost_row[gx, gy]
+                        if over_row is not None and over_row[gx, gy]:
+                            step += overflow_penalty
+                        consider((layer, gx, gy + 1), step)
+                    if gy - 1 >= lo_y:
+                        step = cost_row[gx, gy - 1]
+                        if over_row is not None and over_row[gx, gy - 1]:
+                            step += overflow_penalty
+                        consider((layer, gx, gy - 1), step)
+            if layer + 1 < num_layers:
+                consider((layer + 1, gx, gy), via_cost)
+            if layer - 1 >= 0:
+                consider((layer - 1, gx, gy), via_cost)
+        return None
+    finally:
+        metrics = get_metrics()
+        metrics.count("groute.maze_calls")
+        metrics.observe("groute.maze_expansions", expansions)
+
+
+def _edge_between(a: Node, b: Node) -> GridEdge:
+    """The graph edge joining two adjacent nodes of a maze path."""
+    if a[0] != b[0]:
+        return GridEdge(min(a[0], b[0]), a[1], a[2], EdgeKind.VIA)
+    if a[2] == b[2]:
+        return GridEdge(a[0], min(a[1], b[1]), a[2], EdgeKind.WIRE)
+    return GridEdge(a[0], a[1], min(a[2], b[2]), EdgeKind.WIRE)
+
+
 def _reconstruct(
     node: Node, came_from: dict[Node, tuple[Node, GridEdge]]
 ) -> list[GridEdge]:
@@ -106,5 +272,18 @@ def _reconstruct(
     while node in came_from:
         node, edge = came_from[node]
         edges.append(edge)
+    edges.reverse()
+    return edges
+
+
+def _reconstruct_nodes(
+    graph: RoutingGraph, node: Node, came_from: dict[Node, Node]
+) -> list[GridEdge]:
+    """Rebuild the edge list of the fast path from its node chain."""
+    edges: list[GridEdge] = []
+    while node in came_from:
+        parent = came_from[node]
+        edges.append(_edge_between(parent, node))
+        node = parent
     edges.reverse()
     return edges

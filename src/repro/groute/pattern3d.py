@@ -5,13 +5,20 @@ run with a dynamic program, and materializes the chosen layers into
 graph edges (wires plus the vias stitching runs and terminals together).
 The DP cost is exactly the Eq. 10 edge cost under the current
 demand/capacity state, so congested layers are avoided.
+
+When a :class:`repro.grid.field.CostField` is attached, each run cost is
+two prefix-sum lookups (O(1) per run) instead of O(len) scalar
+``edge_cost`` calls, and ``route_cost`` prices a candidate without
+materializing any edges — the hot path of CR&P's candidate estimation.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
-from repro.grid import CostModel, EdgeKind, GridEdge, RoutingGraph
+from repro.grid import CostField, CostModel, EdgeKind, GridEdge, RoutingGraph
 from repro.groute.patterns import GPoint, runs_of_path
 
 
@@ -32,10 +39,23 @@ class PatternRouter3D:
         graph: RoutingGraph,
         cost_model: CostModel,
         min_layer: int = 0,
+        field: CostField | None = None,
     ) -> None:
         self.graph = graph
         self.cost = cost_model
         self.min_layer = min_layer
+        self.field = field
+        #: usable layers per run direction (True = horizontal), fixed by
+        #: the tech stack so the DP never re-filters them per run
+        self._dir_layers: dict[bool, list[int]] = {
+            horizontal: [
+                layer.index
+                for layer in graph.tech.layers
+                if layer.index >= min_layer
+                and layer.is_horizontal == horizontal
+            ]
+            for horizontal in (True, False)
+        }
 
     # ------------------------------------------------------------------ API
 
@@ -52,6 +72,8 @@ class PatternRouter3D:
         the chosen layer is reported in ``end_layer``.  Returns ``None``
         when some run direction has no usable layer.
         """
+        if self.field is not None:
+            self.field.ensure()
         runs = runs_of_path(path)
         if not runs:
             # Both terminals share a GCell: a via stack suffices.
@@ -59,46 +81,15 @@ class PatternRouter3D:
             edges = self._via_stack(gx, gy, src_layer, dst_layer if dst_layer is not None else src_layer)
             end = dst_layer if dst_layer is not None else src_layer
             return Pattern3DResult(
-                edges=edges, cost=self.cost.path_cost(edges), end_layer=end
+                edges=edges, cost=self._path_cost(edges), end_layer=end
             )
 
-        run_layers: list[list[int]] = []
-        run_costs: list[dict[int, float]] = []
-        for run in runs:
-            horizontal = run[0][1] == run[1][1]
-            layers = [
-                layer.index
-                for layer in self.graph.tech.layers
-                if layer.index >= self.min_layer
-                and layer.is_horizontal == horizontal
-            ]
-            if not layers:
-                return None
-            run_layers.append(layers)
-            run_costs.append(
-                {layer: self._run_cost(run, layer) for layer in layers}
-            )
+        dp = self._layer_dp(runs, src_layer)
+        if dp is None:
+            return None
+        run_layers, best, back = dp
 
         via_w = self.cost.params.via_weight
-        # DP over runs; state = chosen layer of the current run.
-        best: dict[int, float] = {}
-        back: list[dict[int, int]] = []
-        for layer in run_layers[0]:
-            best[layer] = run_costs[0][layer] + via_w * abs(layer - src_layer)
-        for i in range(1, len(runs)):
-            nxt: dict[int, float] = {}
-            links: dict[int, int] = {}
-            for layer in run_layers[i]:
-                candidates = (
-                    (best[prev] + via_w * abs(layer - prev), prev)
-                    for prev in run_layers[i - 1]
-                )
-                value, prev = min(candidates)
-                nxt[layer] = value + run_costs[i][layer]
-                links[layer] = prev
-            best = nxt
-            back.append(links)
-
         if dst_layer is None:
             final_layer = min(best, key=lambda layer: best[layer])
         else:
@@ -114,13 +105,121 @@ class PatternRouter3D:
             runs, chosen, src_layer, dst_layer if dst_layer is not None else chosen[-1]
         )
         return Pattern3DResult(
-            edges=edges, cost=self.cost.path_cost(edges), end_layer=chosen[-1]
+            edges=edges, cost=self._path_cost(edges), end_layer=chosen[-1]
         )
+
+    def route_cost(
+        self,
+        path: list[GPoint],
+        src_layer: int,
+        dst_layer: int | None,
+    ) -> float | None:
+        """Eq. 10 cost of the best layer assignment, without materializing.
+
+        The DP value already equals the edge-sum of the route that
+        :meth:`route` would build, so candidate estimation can rank
+        patterns with no edge lists at all.  Returns ``None`` when some
+        run direction has no usable layer.
+        """
+        if self.field is not None:
+            self.field.ensure()
+        via_w = self.cost.params.via_weight
+        runs = runs_of_path(path)
+        if not runs:
+            end = dst_layer if dst_layer is not None else src_layer
+            return via_w * abs(end - src_layer)
+        dp = self._layer_dp(runs, src_layer)
+        if dp is None:
+            return None
+        _, best, _ = dp
+        if dst_layer is None:
+            return min(best.values())
+        return min(
+            best[layer] + via_w * abs(layer - dst_layer) for layer in best
+        )
+
+    @contextmanager
+    def using(
+        self, cost_model: CostModel, field: CostField | None
+    ) -> Iterator["PatternRouter3D"]:
+        """Temporarily price with a different cost model *and* field.
+
+        The ablation paths (penalty-free ECC estimation, the Fontana
+        baseline) must swap both together: swapping only the scalar
+        model would leave a field-equipped router pricing with the old
+        penalty-on maps.
+        """
+        prev_cost, prev_field = self.cost, self.field
+        self.cost, self.field = cost_model, field
+        try:
+            yield self
+        finally:
+            self.cost, self.field = prev_cost, prev_field
 
     # -------------------------------------------------------------- helpers
 
+    def _layer_dp(
+        self, runs: list[tuple[GPoint, GPoint]], src_layer: int
+    ) -> tuple[list[list[int]], dict[int, float], list[dict[int, int]]] | None:
+        """DP over runs; state = chosen layer of the current run.
+
+        Returns the per-run candidate layers, the final best-cost map,
+        and back pointers, or ``None`` if a run has no usable layer.
+        """
+        run_layers: list[list[int]] = []
+        run_costs: list[dict[int, float]] = []
+        for run in runs:
+            layers = self._dir_layers[run[0][1] == run[1][1]]
+            if not layers:
+                return None
+            run_layers.append(layers)
+            run_costs.append(
+                {layer: self._run_cost(run, layer) for layer in layers}
+            )
+
+        via_w = self.cost.params.via_weight
+        best: dict[int, float] = {}
+        back: list[dict[int, int]] = []
+        for layer in run_layers[0]:
+            best[layer] = run_costs[0][layer] + via_w * abs(layer - src_layer)
+        for i in range(1, len(runs)):
+            nxt: dict[int, float] = {}
+            links: dict[int, int] = {}
+            costs_i = run_costs[i]
+            prev_layers = run_layers[i - 1]
+            # Explicit min loop; candidate layers ascend, so strict `<`
+            # keeps the lowest layer on ties exactly like min() over
+            # (value, prev) tuples did.
+            for layer in run_layers[i]:
+                value = float("inf")
+                prev = -1
+                for p in prev_layers:
+                    cand = best[p] + via_w * abs(layer - p)
+                    if cand < value:
+                        value = cand
+                        prev = p
+                nxt[layer] = value + costs_i[layer]
+                links[layer] = prev
+            best = nxt
+            back.append(links)
+        return run_layers, best, back
+
+    def _path_cost(self, edges: list[GridEdge]) -> float:
+        """Per-edge route cost — bit-identical with and without a field."""
+        if self.field is not None:
+            return self.field.path_cost(edges)
+        return self.cost.path_cost(edges)
+
     def _run_cost(self, run: tuple[GPoint, GPoint], layer: int) -> float:
-        return sum(self.cost.edge_cost(e) for e in self._run_edges(run, layer))
+        (x0, y0), (x1, y1) = run
+        field = self.field
+        if field is not None:
+            # Two prefix lookups; route()/route_cost() ensured freshness.
+            if y0 == y1:
+                return field.run_cost(layer, min(x0, x1), max(x0, x1), y0)
+            return field.run_cost(layer, min(y0, y1), max(y0, y1), x0)
+        # Scalar oracle fallback when no field is attached.
+        return sum(self.cost.edge_cost(e) for e in self._run_edges(run, layer))  # repro: noqa:REPRO-P001
 
     def _run_edges(self, run: tuple[GPoint, GPoint], layer: int) -> list[GridEdge]:
         (x0, y0), (x1, y1) = run

@@ -19,6 +19,7 @@ from repro.guard.deadline import DeadlineExceeded, check_deadline
 from repro.db import Design, Net
 from repro.flute import build_rsmt
 from repro.grid import (
+    CostField,
     CostModel,
     CostParams,
     EdgeKind,
@@ -75,17 +76,28 @@ class GlobalRouter:
         params: CostParams | None = None,
         target_gcells: int = 32,
         beta: float = 1.5,
+        use_cost_field: bool = True,
     ) -> None:
         self.design = design
         self.grid = GCellGrid.for_design(design, target_gcells=target_gcells)
         self.graph = RoutingGraph(self.grid, design.tech, beta=beta)
         self.graph.init_fixed_usage(design)
         self.cost = CostModel(self.graph, params)
+        #: dense Eq. 9/10 kernel; ``use_cost_field=False`` selects the
+        #: scalar reference path (same results, used by the parity tests)
+        self.field: CostField | None = (
+            CostField(self.graph, self.cost.params) if use_cost_field else None
+        )
         self.pattern3d = PatternRouter3D(
-            self.graph, self.cost, min_layer=self.graph.min_wire_layer
+            self.graph,
+            self.cost,
+            min_layer=self.graph.min_wire_layer,
+            field=self.field,
         )
         self.routes: dict[str, NetRoute] = {}
-        self._edge_nets: dict[GridEdge, set[str]] = defaultdict(set)
+        # Plain dict (not defaultdict): lookups must never materialize
+        # empty entries, or the RRR scan grows monotonically.
+        self._edge_nets: dict[GridEdge, set[str]] = {}
 
     # ------------------------------------------------------------ terminals
 
@@ -123,6 +135,8 @@ class GlobalRouter:
                 check_deadline("groute.initial")
                 self.route_net(net.name)
         self.improve(rrr_passes)
+        if self.field is not None:
+            self.field.publish_metrics()
 
     def improve(self, rrr_passes: int = 3) -> int:
         """Run up to ``rrr_passes`` RRR passes; returns passes completed.
@@ -141,6 +155,8 @@ class GlobalRouter:
                     completed += 1
             except DeadlineExceeded:
                 get_metrics().count("groute.rrr_deadline_stops")
+        if self.field is not None:
+            self.field.publish_metrics()
         return completed
 
     def route_net(self, net_name: str) -> NetRoute:
@@ -223,7 +239,7 @@ class GlobalRouter:
     def _commit(self, route: NetRoute) -> None:
         self.graph.apply_route(sorted(route.edges), sign=1)
         for edge in route.edges:
-            self._edge_nets[edge].add(route.net)
+            self._edge_nets.setdefault(edge, set()).add(route.net)
         self.routes[route.net] = route
 
     def rip_up(self, net_name: str) -> None:
@@ -252,17 +268,33 @@ class GlobalRouter:
     # ----------------------------------------------------------------- RRR
 
     def _rrr_pass(self, max_nets: int = 200) -> bool:
-        """One rip-up-and-reroute pass; True when it changed anything."""
+        """One rip-up-and-reroute pass; True when it changed anything.
+
+        With a cost field the overflow scan is one ``demand > capacity``
+        mask per layer instead of a per-edge Python loop; overflowed
+        edges without committed users contribute no victims either way,
+        so both scans select the same nets.
+        """
         victims: list[str] = []
         seen: set[str] = set()
-        for edge, users in self._edge_nets.items():
-            if edge.kind is not EdgeKind.WIRE:
-                continue
-            if self.graph.demand(edge) > self.graph.capacity(edge):
+        if self.field is not None:
+            for edge in self.field.overflow_edges():
+                users = self._edge_nets.get(edge)
+                if not users:
+                    continue
                 for name in users:
                     if name not in seen:
                         seen.add(name)
                         victims.append(name)
+        else:
+            for edge, users in self._edge_nets.items():
+                if edge.kind is not EdgeKind.WIRE:
+                    continue
+                if self.graph.demand(edge) > self.graph.capacity(edge):
+                    for name in users:
+                        if name not in seen:
+                            seen.add(name)
+                            victims.append(name)
         if not victims:
             return False
         metrics = get_metrics()
@@ -300,6 +332,7 @@ class GlobalRouter:
                             sources=set(connected),
                             targets={terminal},
                             overflow_penalty=10.0 * self.cost.params.via_weight,
+                            field=self.field,
                         )
                     except DeadlineExceeded as exc:
                         deadline = exc
@@ -349,6 +382,16 @@ class GlobalRouter:
                 )
             )
 
+    def invalidate_cost_fields(self) -> None:
+        """Force a full cost-field recompute on the next query.
+
+        Graph mutations already notify the field, so this is a
+        belt-and-braces hook for transaction rollback and for callers
+        that poke the usage arrays directly (tests, invariant checkers).
+        """
+        if self.field is not None:
+            self.field.note_all()
+
     def accounting_errors(self) -> list[str]:
         """Check graph demand against the committed routes.
 
@@ -391,6 +434,8 @@ class GlobalRouter:
         route = self.routes.get(net_name)
         if route is None:
             return 0.0
+        if self.field is not None:
+            return self.field.path_cost(sorted(route.edges))
         return self.cost.path_cost(sorted(route.edges))
 
     def cell_cost(self, cell_name: str) -> float:

@@ -32,6 +32,7 @@ from repro.guard.report import FailureReport
 from repro.guard.deadline import (
     Deadline,
     DeadlineExceeded,
+    DeadlineTicker,
     check_deadline,
     current_deadline,
     deadline_scope,
@@ -55,6 +56,7 @@ __all__ = [
     "FailureReport",
     "Deadline",
     "DeadlineExceeded",
+    "DeadlineTicker",
     "check_deadline",
     "current_deadline",
     "deadline_scope",

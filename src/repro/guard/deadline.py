@@ -106,3 +106,27 @@ def check_deadline(site: str) -> None:
             metrics.count("guard.deadline_hits")
             metrics.count(f"guard.deadline.{deadline.name}")
             raise DeadlineExceeded(site, deadline.name, deadline.budget_s)
+
+
+class DeadlineTicker:
+    """Strided :func:`check_deadline` for per-iteration hot loops.
+
+    ``time.monotonic()`` on every node expansion is measurable overhead
+    in the maze/A* inner loops; a ticker polls the clock only every
+    ``stride`` ticks.  The *first* tick always checks, so a zero-budget
+    scope still fails fast before any work is done.
+    """
+
+    __slots__ = ("site", "stride", "_left")
+
+    def __init__(self, site: str, stride: int = 64) -> None:
+        self.site = site
+        self.stride = stride
+        self._left = 1
+
+    def tick(self) -> None:
+        """Count one loop iteration; every ``stride``-th polls the clock."""
+        self._left -= 1
+        if self._left <= 0:
+            self._left = self.stride
+            check_deadline(self.site)

@@ -82,6 +82,10 @@ class IterationTransaction:
         for net_name, route in self.routes.items():
             self.router.restore_route(net_name, route)
         self.design.moved_history = set(self.moved_history)
+        # restore_route already notifies the cost field edge-by-edge;
+        # the full invalidation guards against callers that mutated
+        # usage arrays behind the graph's back before rolling back.
+        self.router.invalidate_cost_fields()
 
 
 def iteration_violations(

@@ -254,6 +254,89 @@ class TestUnboundedLoops:
             "src/repro/droute/mod.py",
         )
 
+    def test_quiet_with_deadline_ticker_tick(self):
+        # DeadlineTicker batches check_deadline behind .tick(); the rule
+        # must recognize the strided checkpoint as a deadline check.
+        assert "REPRO-G001" not in rules_fired(
+            """
+            def expand(heap, ticker):
+                while heap:
+                    ticker.tick()
+                    heap.pop()
+            """,
+            "src/repro/groute/mod.py",
+        )
+
+
+# ------------------------------------------------------------ rule: P001
+
+
+class TestScalarCostLoops:
+    def test_fires_on_edge_cost_in_loop(self):
+        code = """
+        def price(edges, cost):
+            total = 0.0
+            for edge in edges:
+                total += cost.edge_cost(edge)
+            return total
+        """
+        assert "REPRO-P001" in rules_fired(code, "src/repro/groute/mod.py")
+        assert "REPRO-P001" in rules_fired(code, "src/repro/droute/mod.py")
+
+    def test_fires_in_while_loops_and_comprehensions(self):
+        assert "REPRO-P001" in rules_fired(
+            """
+            def drain(heap, cost):
+                while heap:
+                    step = cost.edge_cost(heap.pop())
+            """,
+            "src/repro/groute/mod.py",
+        )
+        assert "REPRO-P001" in rules_fired(
+            "def f(es, c):\n    return sum(c.edge_cost(e) for e in es)\n",
+            "src/repro/groute/mod.py",
+        )
+
+    def test_quiet_outside_router_paths_and_loops(self):
+        code = """
+        def price(edges, cost):
+            total = 0.0
+            for edge in edges:
+                total += cost.edge_cost(edge)
+            return total
+        """
+        # Scoped to the routers: the oracle itself may loop.
+        assert "REPRO-P001" not in rules_fired(code, "src/repro/grid/cost.py")
+        # A single call outside any loop is not a hot path.
+        assert "REPRO-P001" not in rules_fired(
+            "def one(cost, e):\n    return cost.edge_cost(e)\n",
+            "src/repro/groute/mod.py",
+        )
+
+    def test_is_warning_severity_and_noqa_suppressible(self):
+        findings = lint_snippet(
+            """
+            def price(edges, cost):
+                return sum(cost.edge_cost(e) for e in edges)  # repro: noqa:REPRO-P001
+            """,
+            "src/repro/groute/mod.py",
+        )
+        assert not [f for f in findings if f.rule == "REPRO-P001"]
+        fired = [
+            f
+            for f in lint_snippet(
+                """
+                def price(edges, cost):
+                    return sum(cost.edge_cost(e) for e in edges)
+                """,
+                "src/repro/groute/mod.py",
+            )
+            if f.rule == "REPRO-P001"
+        ]
+        assert fired and all(
+            f.severity.value == "warning" for f in fired
+        )
+
 
 # ------------------------------------------------------------ rule: G002
 
