@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Parallel-execution benchmark for ``repro.par`` (BENCH_par.json).
+
+Times the three stages the parallel subsystem accelerates — initial
+``route_all``, the RRR passes, and CR&P candidate estimation — on two
+generated benchmarks, median of three runs, in four execution modes:
+the classic serial walk (no executor) and the batched pipeline at
+``workers`` 1, 2 and 4.
+
+Every run asserts that all four modes produce *byte-identical* results
+(a SHA-256 over every committed route, GR wirelength / vias /
+overflow, and the full candidate-cost vector) — parallelism is a pure
+speedup, never a behavior change.  The byte-equality assert always
+runs; the speedup gates are conditional on the machine actually having
+cores to parallelize over (``cpu_count`` is recorded in the report):
+
+* ``cpu_count >= 2``: workers=2 must reach at least 0.9x serial on the
+  gated ``par_total`` stage (parallel overhead must not eat the win),
+* ``cpu_count >= 4``: workers=4 must reach at least 1.4x serial.
+
+Usage::
+
+    python scripts/bench_par.py -o BENCH_par.json       # write baseline
+    python scripts/bench_par.py --check BENCH_par.json  # CI gate
+
+``--check`` reruns the benchmark, applies the core-count-conditional
+speedup gates, and verifies the quality block still matches the
+committed baseline byte-for-byte (results are machine-independent, so
+this doubles as a cross-machine determinism gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchgen import make_design  # noqa: E402
+from repro.core import CrpConfig  # noqa: E402
+from repro.core.candidates import generate_candidates  # noqa: E402
+from repro.core.estimate import estimate_candidate_cost  # noqa: E402
+from repro.core.labeling import label_critical_cells  # noqa: E402
+from repro.groute import GlobalRouter  # noqa: E402
+from repro.par import ParallelExecutor  # noqa: E402
+
+SCHEMA = "repro.par/bench-1"
+BENCHES = ("ispd18_test2", "ispd18_test5")
+RUNS = 3
+RRR_PASSES = 3
+WORKER_MODES = (1, 2, 4)
+STAGES = ("route_all", "rrr", "estimate", "par_total")
+#: the stage the speedup gates enforce (sum of all accelerated stages)
+GATED_STAGE = "par_total"
+#: workers=2 must not fall below this fraction of serial (2+ cores)
+W2_FLOOR = 0.9
+#: workers=4 must reach this speedup over serial (4+ cores)
+W4_TARGET = 1.4
+
+
+def mode_label(workers: int | None) -> str:
+    return "serial" if workers is None else f"w{workers}"
+
+
+def run_once(bench: str, workers: int | None) -> tuple[dict, dict]:
+    """One pass in one mode; returns (stage seconds, quality digest)."""
+    design = make_design(bench)
+    router = GlobalRouter(design)
+    executor = None
+    if workers is not None:
+        executor = ParallelExecutor(workers).bind(router)
+    times: dict[str, float] = {}
+    try:
+        t0 = time.perf_counter()
+        router.route_all(rrr_passes=0)
+        times["route_all"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        router.improve(RRR_PASSES)
+        times["rrr"] = time.perf_counter() - t0
+
+        config = CrpConfig(seed=0, workers=None)
+        critical = label_critical_cells(
+            design, router, config, random.Random(config.seed)
+        )
+        candidates = generate_candidates(design, critical, config)
+        flat = [c for group in candidates.values() for c in group]
+        t0 = time.perf_counter()
+        if executor is not None:
+            costs = executor.run_estimates(flat, config.use_penalty)
+        else:
+            with router.pattern3d.using(router.cost, router.field):
+                costs = [
+                    estimate_candidate_cost(design, router, c) for c in flat
+                ]
+        times["estimate"] = time.perf_counter() - t0
+        times["par_total"] = sum(times[s] for s in ("route_all", "rrr", "estimate"))
+    finally:
+        if executor is not None:
+            executor.close()
+
+    digest = hashlib.sha256()
+    for name in sorted(router.routes):
+        digest.update(name.encode())
+        digest.update(repr(sorted(router.routes[name].edges)).encode())
+    quality = {
+        "gr_wirelength_dbu": router.total_wirelength_dbu(),
+        "gr_vias": router.total_vias(),
+        "gr_overflow": round(router.total_overflow(), 6),
+        "routes_sha256": digest.hexdigest(),
+        "num_candidates": len(flat),
+        "candidate_cost_sha256": hashlib.sha256(
+            repr([round(c, 9) for c in costs]).encode()
+        ).hexdigest(),
+    }
+    return times, quality
+
+
+def bench_design(bench: str) -> dict:
+    """Median-of-RUNS stage times per mode + the byte-equality assert."""
+    modes: list[int | None] = [None, *WORKER_MODES]
+    samples = {mode_label(m): {s: [] for s in STAGES} for m in modes}
+    qualities: dict[str, dict] = {}
+    for _ in range(RUNS):
+        for workers in modes:
+            label = mode_label(workers)
+            times, quality = run_once(bench, workers)
+            for stage in STAGES:
+                samples[label][stage].append(times[stage])
+            previous = qualities.setdefault(label, quality)
+            if previous != quality:
+                raise SystemExit(
+                    f"FAIL: {bench} mode {label} is nondeterministic: "
+                    f"{previous} != {quality}"
+                )
+    reference = qualities["serial"]
+    for label, quality in qualities.items():
+        if quality != reference:
+            raise SystemExit(
+                f"FAIL: {bench} results diverge between serial and {label}:\n"
+                f"  serial: {reference}\n"
+                f"  {label}: {quality}"
+            )
+    result_stages: dict[str, dict] = {}
+    for stage in STAGES:
+        entry: dict[str, object] = {}
+        serial_s = statistics.median(samples["serial"][stage])
+        entry["serial_s"] = round(serial_s, 6)
+        for workers in WORKER_MODES:
+            label = mode_label(workers)
+            mode_s = statistics.median(samples[label][stage])
+            entry[f"{label}_s"] = round(mode_s, 6)
+            entry[f"{label}_speedup"] = (
+                round(serial_s / mode_s, 4) if mode_s > 0 else None
+            )
+        result_stages[stage] = entry
+    return {
+        "design": bench,
+        "stages": result_stages,
+        "quality": reference,
+    }
+
+
+def run_benchmarks() -> dict:
+    designs = []
+    for bench in BENCHES:
+        print(
+            f"benchmarking {bench} ({RUNS}x serial + workers {WORKER_MODES})...",
+            flush=True,
+        )
+        designs.append(bench_design(bench))
+    return {
+        "schema": SCHEMA,
+        "median_of": RUNS,
+        "rrr_passes": RRR_PASSES,
+        "gated_stage": GATED_STAGE,
+        "cpu_count": os.cpu_count() or 1,
+        "worker_modes": list(WORKER_MODES),
+        "designs": designs,
+    }
+
+
+def check(report: dict, baseline: dict) -> int:
+    """Apply the core-conditional speedup gates + baseline quality diff."""
+    failures = []
+    cpus = report["cpu_count"]
+    base_by_name = {d["design"]: d for d in baseline.get("designs", [])}
+    for entry in report["designs"]:
+        name = entry["design"]
+        stage = entry["stages"][GATED_STAGE]
+        base = base_by_name.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline")
+        elif base["quality"] != entry["quality"]:
+            failures.append(
+                f"{name}: quality diverges from the committed baseline — "
+                f"routing results are no longer machine-independent"
+            )
+        w2 = stage["w2_speedup"]
+        w4 = stage["w4_speedup"]
+        if cpus >= 2:
+            status = "ok" if w2 >= W2_FLOOR else "REGRESSION"
+            print(f"{name}: {GATED_STAGE} w2 {w2:.2f}x (floor {W2_FLOOR}x) {status}")
+            if w2 < W2_FLOOR:
+                failures.append(
+                    f"{name}: workers=2 speedup {w2:.2f}x below the "
+                    f"{W2_FLOOR}x floor on a {cpus}-core machine"
+                )
+        else:
+            print(
+                f"{name}: {GATED_STAGE} w2 {w2:.2f}x — gate skipped "
+                f"(only {cpus} core)"
+            )
+        if cpus >= 4:
+            status = "ok" if w4 >= W4_TARGET else "REGRESSION"
+            print(f"{name}: {GATED_STAGE} w4 {w4:.2f}x (target {W4_TARGET}x) {status}")
+            if w4 < W4_TARGET:
+                failures.append(
+                    f"{name}: workers=4 speedup {w4:.2f}x below the "
+                    f"{W4_TARGET}x target on a {cpus}-core machine"
+                )
+        else:
+            print(
+                f"{name}: {GATED_STAGE} w4 {w4:.2f}x — gate skipped "
+                f"(only {cpus} core(s))"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", type=Path, help="write report JSON")
+    parser.add_argument(
+        "--check", type=Path, metavar="BASELINE",
+        help="apply the speedup gates and diff quality against a baseline",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmarks()
+    text = json.dumps(report, indent=1)
+    if args.output:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if args.check:
+        baseline = json.loads(args.check.read_text())
+        return check(report, baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,8 @@ Rule families:
   handlers that can swallow ``DeadlineExceeded``).
 * ``REPRO-O*`` — observability conventions (span/metric names).
 * ``REPRO-C*`` — classics (mutable defaults, shadowed builtins).
+* ``REPRO-X*`` — cross-process safety (state that silently diverges
+  between the parent and ``repro.par`` pool workers).
 
 Suppress one occurrence with ``# repro: noqa:RULE-ID`` on the flagged
 line (comma-separate multiple IDs; a bare ``# repro: noqa`` suppresses
@@ -672,3 +674,70 @@ def _check_scalar_cost_loops(ctx: ModuleContext):
                     "scalar `edge_cost` call inside a loop — use the "
                     "CostField dense maps"
                 )
+
+
+# ---------------------------------------------- REPRO-X: cross-process safety
+
+#: constructor calls that bind a mutable container at module scope
+_MUTABLE_CTORS = frozenset(
+    ("list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict")
+)
+
+
+def _is_mutable_module_value(node: ast.expr) -> str | None:
+    """Why this module-scope value is worker-hostile (None = it is not).
+
+    Mutable containers at module scope are per-process state: the pool
+    parent mutates its copy, ``fork``-ed workers keep a stale snapshot,
+    and ``spawn``-ed workers re-import a fresh one — three diverging
+    views of the "same" variable.  A module-scope ``random.Random`` is
+    the same hazard with an RNG stream attached.
+    """
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return "module-level mutable container literal"
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return "module-level mutable comprehension result"
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        short = name.split(".")[-1]
+        if short in _MUTABLE_CTORS:
+            return f"module-level mutable container from `{short}()`"
+        if short == "Random" or name == "random.Random":
+            return "module-level RNG instance"
+    return None
+
+
+@rule(
+    "REPRO-X001",
+    Severity.ERROR,
+    "module-level mutable state or RNG in pool-worker code diverges "
+    "between the parent and `repro.par` workers",
+    "pass the state through the task payload / mutation log instead, or "
+    "make the binding immutable (tuple/frozenset/constant); RNG streams "
+    "must be built per call from an explicit seed",
+    path_scope=("/par/",),
+)
+def _check_worker_module_state(ctx: ModuleContext):
+    # Only genuine module scope matters: names a `spawn`-ed worker
+    # rebinds at import time.  Walking `ctx.tree.body` directly (not
+    # `ast.walk`) keeps function/class bodies out of scope — locals and
+    # class attributes are rebuilt per process and cannot diverge.
+    for stmt in ctx.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        reason = _is_mutable_module_value(value)
+        if reason is None:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if names == ["__all__"]:
+            # The export list is written once and only read; still,
+            # prefer a tuple so the rule stays exception-free.
+            continue
+        label = ", ".join(f"`{n}`" for n in names) or "binding"
+        yield value, f"{reason} bound to {label} in worker-reachable code"

@@ -41,27 +41,45 @@ class DesignSpec:
         default_factory=lambda: [(2, 0.55), (3, 0.25), (4, 0.12), (5, 0.05), (8, 0.03)]
     )
 
+    def rng(self) -> random.Random:
+        """The spec's seeded generator stream.
+
+        This is the *only* RNG construction point in the generator:
+        every helper takes the stream as an explicit parameter, no path
+        touches the module-level ``random`` functions, and each
+        placement attempt restarts the stream so retries are
+        self-contained.  A design is therefore a pure function of its
+        spec — identical bytes in any process, including ``spawn``-ed
+        parallel workers that re-import everything from scratch.
+        """
+        return random.Random(self.seed)
+
 
 def generate_design(spec: DesignSpec, tech: Technology | None = None) -> Design:
     """Generate a legal placed design from ``spec``.
 
-    The result is deterministic in ``spec.seed``.  Blockage area is
-    random, so the die is grown and placement retried if the first
-    attempt cannot fit every cell.
+    The result is deterministic in ``spec.seed`` (see
+    :meth:`DesignSpec.rng`).  Blockage area is random, so the die is
+    grown and placement retried if the first attempt cannot fit every
+    cell.
     """
     last_error: Exception | None = None
     for attempt in range(6):
         try:
-            return _generate_once(spec, tech, grow=1.0 + 0.1 * attempt)
+            return _generate_once(
+                spec, tech, grow=1.0 + 0.1 * attempt, rng=spec.rng()
+            )
         except RuntimeError as error:
             last_error = error
     raise RuntimeError(f"{spec.name}: generation failed: {last_error}")
 
 
 def _generate_once(
-    spec: DesignSpec, tech: Technology | None, grow: float
+    spec: DesignSpec,
+    tech: Technology | None,
+    grow: float,
+    rng: random.Random,
 ) -> Design:
-    rng = random.Random(spec.seed)
     if tech is None:
         tech = build_tech(spec.node)
     site = tech.default_site()

@@ -57,6 +57,11 @@ def main(argv: list[str] | None = None) -> int:
         "--stage-budget", type=float, metavar="S",
         help="wall-clock budget per flow stage in seconds",
     )
+    p_run.add_argument(
+        "--workers", type=int, metavar="N",
+        help="parallel routing/estimation workers (1 = batched serial; "
+        "default: CRP_WORKERS env or classic serial)",
+    )
 
     p_profile = sub.add_parser(
         "profile",
@@ -154,6 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         skip_detailed=args.skip_detailed,
         budget_s=args.budget,
         stage_budget_s=args.stage_budget,
+        workers=args.workers,
     )
     print(result.summary())
     if result.failure is not None:

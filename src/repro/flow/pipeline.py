@@ -96,6 +96,7 @@ def run_flow(
     budget_s: float | None = None,
     stage_budget_s: float | None = None,
     guard: GuardPolicy | None = None,
+    workers: int | None = None,
 ) -> FlowResult:
     """Run the full flow on ``design``.
 
@@ -105,25 +106,47 @@ def run_flow(
     the whole flow's wall clock and ``stage_budget_s`` each stage's;
     expiry fails the stage (with a :class:`FailureReport`) rather than
     hanging.  ``guard`` tunes the CR&P iteration transaction.
+
+    ``workers`` selects the ``repro.par`` execution pipeline: ``None``
+    (default) keeps the classic serial walk, ``1`` runs the batched
+    pipeline in-process, ``N > 1`` routes and estimates on a process
+    pool with byte-identical results.  Falls back to
+    ``config.workers`` (which itself reads ``CRP_WORKERS``).
     """
     if mode not in ("baseline", "crp", "fontana"):
         raise ValueError(f"unknown flow mode {mode!r}")
+    if workers is None:
+        workers = (config or CrpConfig()).workers
     result = FlowResult(
         design=design.name,
         mode=mode,
         crp_iterations=crp_iterations if mode == "crp" else 0,
     )
-    with ensure_observation() as obs:
-        tracer = obs.tracer
-        with tracer.span("flow.run", design=design.name, mode=mode) as root:
-            with deadline_scope(budget_s, name="flow.run"):
-                _run_stages(
-                    design, mode, crp_iterations, config, baseline_budget_s,
-                    rrr_passes, skip_detailed, stage_budget_s, guard,
-                    result, tracer, obs.metrics,
-                )
-        result.trace = root
-        result.metrics = obs.metrics.snapshot()
+    executor = None
+    if workers is not None and workers >= 1:
+        from repro.par import ParallelExecutor
+
+        executor = ParallelExecutor(workers)
+    try:
+        with ensure_observation() as obs:
+            tracer = obs.tracer
+            if executor is not None:
+                obs.metrics.gauge("par.workers", workers)
+            with tracer.span(
+                "flow.run", design=design.name, mode=mode
+            ) as root:
+                with deadline_scope(budget_s, name="flow.run"):
+                    _run_stages(
+                        design, mode, crp_iterations, config,
+                        baseline_budget_s, rrr_passes, skip_detailed,
+                        stage_budget_s, guard, result, tracer, obs.metrics,
+                        executor,
+                    )
+            result.trace = root
+            result.metrics = obs.metrics.snapshot()
+    finally:
+        if executor is not None:
+            executor.close()
     return result
 
 
@@ -159,12 +182,15 @@ def _run_stages(
     result: FlowResult,
     tracer,
     metrics,
+    executor=None,
 ) -> None:
     """The stage sequence, inside the open ``flow.run`` span."""
     router: GlobalRouter | None = None
     with tracer.span("flow.GR") as sp, _stage(result, "GR", metrics, stage_budget_s):
         fault_point("flow.GR")
         router = GlobalRouter(design)
+        if executor is not None:
+            executor.bind(router)
         router.route_all(rrr_passes=rrr_passes)
     result.runtime["GR"] = sp.wall_s
     if result.failed:

@@ -25,13 +25,17 @@ from repro.obs import get_metrics
 
 Node = tuple[int, int, int]  # (layer, gx, gy)
 
+#: default search-window margin (gcells beyond the terminal bbox); the
+#: parallel partitioner sizes RRR conflict regions from this bound
+MAZE_MARGIN = 4
+
 
 def maze_route(
     graph: RoutingGraph,
     cost_model: CostModel,
     sources: set[Node],
     targets: set[Node],
-    margin: int = 4,
+    margin: int = MAZE_MARGIN,
     overflow_penalty: float = 0.0,
     field: CostField | None = None,
 ) -> list[GridEdge] | None:

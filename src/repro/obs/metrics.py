@@ -117,6 +117,41 @@ class MetricsRegistry:
                 },
             }
 
+    # ----------------------------------------------------- cross-process
+
+    def raw(self) -> dict[str, dict[str, object]]:
+        """Mergeable (picklable) view: counters, gauges, histogram samples.
+
+        Unlike :meth:`snapshot`, histograms are exported as their raw
+        reservoir samples so another registry can re-``observe()`` them
+        without distorting percentiles.  This is how worker processes
+        ship their metrics back to the parent (``repro.par``).
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: list(hist.values)
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def merge_raw(self, raw: dict[str, dict[str, object]]) -> None:
+        """Fold a :meth:`raw` export into this registry.
+
+        Counters add, gauges take the incoming value, histogram samples
+        are re-observed.  Deterministic given a deterministic merge
+        order (the parallel executor merges task results in task order).
+        """
+        for name, value in raw.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in raw.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, values in raw.get("histograms", {}).items():
+            for value in values:
+                self.observe(name, value)
+
 
 class NoopMetrics(MetricsRegistry):
     """Discards everything; the process-wide default."""
@@ -140,6 +175,12 @@ class NoopMetrics(MetricsRegistry):
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def raw(self) -> dict[str, dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_raw(self, raw: dict[str, dict[str, object]]) -> None:
+        pass
 
 
 NOOP_METRICS = NoopMetrics()

@@ -1,0 +1,14 @@
+"""repro.par — deterministic parallel execution for routing and ECC.
+
+The subsystem splits per-net work into spatially conflict-free batches
+(:mod:`repro.par.partition`), runs each batch on a spawn-safe process
+pool with bit-identical state replicas (:mod:`repro.par.worker`), and
+commits results in canonical net order with conflict re-routing
+(:class:`GlobalRouter`'s commit stage) — so ``--workers N`` output is
+byte-identical to ``--workers 1`` for any N.
+"""
+
+from repro.par.executor import ParallelExecutor
+from repro.par.partition import ParTask, partition, region_of
+
+__all__ = ("ParallelExecutor", "ParTask", "partition", "region_of")

@@ -1,0 +1,385 @@
+"""Parent-side parallel executor: process pool + mutation log + merge.
+
+The executor owns three responsibilities:
+
+1. **Replica sync.**  The parent records every routing-state mutation
+   in an append-only log (route commits/rip-ups via
+   :meth:`note_route`, cell moves discovered by diffing positions
+   before each dispatch, full array resyncs via :meth:`note_desync`).
+   Each worker tracks a log sequence number; a task carries exactly
+   the unseen tail, so replicas replay the parent's mutations in
+   parent order and stay bit-identical.
+
+2. **Deterministic dispatch.**  Work items are chunked and assigned to
+   workers round-robin by chunk index, results are collected by task
+   id, and the returned list is aligned with the input order — worker
+   scheduling and timing can never reorder results.
+
+3. **Degradation.**  A worker error (or an armed ``par.worker`` fault
+   point) marks its chunk missing and the parent recomputes it
+   in-process with the *same* compute functions, so a dead worker
+   costs time, never correctness.  A worker that runs out of its
+   deadline budget ships back what it finished; the parent re-checks
+   the ambient deadline and lets the per-stage fallback handle the
+   rest.  At ``workers=1`` no processes exist at all: the same chunks
+   run in-process against the live router, which is the parity
+   baseline the tests pin parallel runs against.
+
+Observability: when the ambient tracer/metrics are recording, workers
+run each task under a private registry + tracer and ship back raw
+metrics and ``par.task`` span trees; the parent folds the metrics in
+task order and attaches the spans to the enclosing ``par.route`` span.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+from typing import TYPE_CHECKING
+
+from repro.guard.deadline import DeadlineExceeded, check_deadline, remaining_budget
+from repro.guard.faults import fault_point
+from repro.obs import get_metrics, get_tracer
+
+from repro.par import worker as parworker
+from repro.par.worker import WorkerState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.groute import GlobalRouter
+
+#: default work items per task for routing kinds (maze compute dominates)
+ROUTE_CHUNK = 8
+#: default work items per task for candidate estimation (cheap per item)
+ESTIMATE_CHUNK = 32
+#: seconds between liveness polls while waiting on the result queue
+POLL_S = 10.0
+
+
+class ParallelExecutor:
+    """Deterministic process-pool executor for routing and estimation."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        chunk: int = ROUTE_CHUNK,
+        start_method: str | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.chunk = max(1, int(chunk))
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self.start_method = start_method
+        self.router: "GlobalRouter | None" = None
+        self._log: list[tuple] = []
+        self._procs: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._worker_seq: list[int] = []
+        self._synced_pos: dict[str, tuple] = {}
+        self._estimate_models: dict[bool, tuple[object, object]] = {}
+        self._started = False
+        self._dead = False
+        self._next_task = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    def bind(self, router: "GlobalRouter") -> "ParallelExecutor":
+        """Attach to a router; the router's drivers batch through us."""
+        self.router = router
+        router.executor = self
+        return self
+
+    @property
+    def parallel(self) -> bool:
+        """True when tasks actually cross a process boundary."""
+        return self.workers > 1 and not self._dead
+
+    def close(self) -> None:
+        """Stop workers and detach; safe to call twice."""
+        if self._started:
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put((parworker.MSG_STOP,))
+                except (OSError, ValueError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            self._procs = []
+            self._task_queues = []
+            self._result_queue = None
+            self._started = False
+        if self.router is not None and self.router.executor is self:
+            self.router.executor = None
+        self._dead = True
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------- mutation log
+
+    def note_route(self, edges: list, sign: int) -> None:
+        """Record one route commit (+1) or rip-up (-1) for the replicas."""
+        if self._started and not self._dead:
+            self._log.append(("r", tuple(edges), sign))
+
+    def note_desync(self) -> None:
+        """Record a full-state resync (arrays were mutated out-of-band)."""
+        if not self._started or self._dead:
+            return
+        graph = self.router.graph
+        positions = {
+            name: (cell.x, cell.y, cell.orient)
+            for name, cell in self.router.design.cells.items()
+        }
+        self._log.append(
+            (
+                "a",
+                [arr.copy() for arr in graph.wire_usage],
+                [arr.copy() for arr in graph.via_usage],
+                positions,
+            )
+        )
+        self._synced_pos = positions
+
+    def _sync_moves(self) -> None:
+        """Append a move entry for every cell that moved since last sync."""
+        for name in sorted(self.router.design.cells):
+            cell = self.router.design.cells[name]
+            pos = (cell.x, cell.y, cell.orient)
+            if self._synced_pos.get(name) != pos:
+                self._synced_pos[name] = pos
+                self._log.append(("m", name, *pos))
+
+    # ------------------------------------------------------------- pool
+
+    def _ensure_pool(self) -> None:
+        if self._started or not self.parallel:
+            return
+        router = self.router
+        ctx = mp.get_context(self.start_method)
+        payload = pickle.dumps(
+            (router.design, router.ctor_args),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._result_queue = ctx.Queue()
+        self._task_queues = []
+        self._procs = []
+        for worker_id in range(self.workers):
+            task_queue = ctx.Queue()
+            proc = ctx.Process(
+                target=parworker.worker_main,
+                args=(worker_id, task_queue, self._result_queue, payload),
+                daemon=True,
+            )
+            proc.start()
+            self._task_queues.append(task_queue)
+            self._procs.append(proc)
+        self._started = True
+        self._worker_seq = [0] * self.workers
+        self._synced_pos = {
+            name: (cell.x, cell.y, cell.orient)
+            for name, cell in router.design.cells.items()
+        }
+        # Workers rebuilt a virgin router from the design; bring them up
+        # to the parent's current committed demand with one resync.
+        graph = router.graph
+        self._log.append(
+            (
+                "a",
+                [arr.copy() for arr in graph.wire_usage],
+                [arr.copy() for arr in graph.via_usage],
+                None,
+            )
+        )
+        get_metrics().gauge("par.pool_workers", self.workers)
+
+    def _kill_pool(self) -> None:
+        """Abandon a wedged/broken pool; remaining work runs in-process."""
+        get_metrics().count("par.pool_failures")
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        self._procs = []
+        self._task_queues = []
+        self._result_queue = None
+        self._started = False
+        self._dead = True
+
+    # ----------------------------------------------------------- dispatch
+
+    def run_route_batch(self, names: list[str]) -> dict[str, object]:
+        """Pattern-route a conflict-free batch; name -> (edges, terminals).
+
+        A ``None`` value means the worker hit its deadline budget before
+        reaching that net; the caller's commit stage falls back to the
+        serial deadline-safe path for it.
+        """
+        results = self._dispatch("route", list(names), None, self.chunk)
+        return dict(zip(names, results))
+
+    def run_maze_batch(self, items: list[tuple]) -> dict[str, object]:
+        """Maze-reroute a batch of ``(name, old_edges)``; name -> result."""
+        results = self._dispatch("maze", list(items), None, self.chunk)
+        return {item[0]: result for item, result in zip(items, results)}
+
+    def run_estimates(
+        self, candidates: list, use_penalty: bool
+    ) -> list[float]:
+        """Price candidates in order (ECC); pure reads, order-preserving."""
+        return self._dispatch(
+            "estimate", list(candidates), bool(use_penalty), ESTIMATE_CHUNK
+        )
+
+    def _dispatch(
+        self, kind: str, items: list, extra: object, chunk: int
+    ) -> list:
+        """Run ``items`` through the pool; returns results aligned with input.
+
+        Chunks that fail (worker error, armed ``par.worker`` fault,
+        broken pool) are recomputed in-process.  Chunks cut short by a
+        worker-side deadline stay ``None`` unless the ambient deadline
+        turns out to still have budget.
+        """
+        results: list = [None] * len(items)
+        metrics = get_metrics()
+        deadline_hit = False
+        # A single chunk cannot overlap with anything — shipping it to a
+        # worker while the parent waits is pure overhead, and the long
+        # singleton tail of the batch chain on dense designs would pay
+        # a queue round-trip per net.  The size test depends only on
+        # the input, never on worker count, so determinism holds.
+        if len(items) > chunk and self.parallel:
+            self._ensure_pool()
+        if len(items) > chunk and self._started and not self._dead:
+            deadline_hit = self._dispatch_pool(
+                kind, items, extra, chunk, results, metrics
+            )
+        if deadline_hit:
+            metrics.count("par.deadline_returns")
+            # Normally the ambient scope the budget came from has also
+            # expired and this raises; if it somehow still has slack,
+            # fall through and finish the chunk in-process.
+            check_deadline("par.worker")
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            if self._started:
+                metrics.count("par.serial_fallback_items", len(missing))
+            state = self._parent_state()
+            for i in missing:
+                results[i] = parworker.compute_item(state, kind, items[i], extra)
+        return results
+
+    def _dispatch_pool(
+        self,
+        kind: str,
+        items: list,
+        extra: object,
+        chunk: int,
+        results: list,
+        metrics,
+    ) -> bool:
+        """Ship chunks to workers and fold results back; True on deadline."""
+        self._sync_moves()
+        budget_s = remaining_budget()
+        obs_on = bool(get_metrics().recording or get_tracer().recording)
+        chunks = [
+            (start, items[start : start + chunk])
+            for start in range(0, len(items), chunk)
+        ]
+        pending: dict[int, int] = {}  # task_id -> chunk start index
+        for chunk_index, (start, chunk_items) in enumerate(chunks):
+            try:
+                fault_point("par.worker")
+            except DeadlineExceeded:
+                raise
+            except Exception:  # repro: noqa:REPRO-G002 — injected dispatch fault; the chunk reruns in-process
+                metrics.count("par.worker_failures")
+                continue
+            worker = chunk_index % self.workers
+            seq = len(self._log)
+            entries = tuple(self._log[self._worker_seq[worker] : seq])
+            self._worker_seq[worker] = seq
+            task_id = self._next_task
+            self._next_task += 1
+            try:
+                self._task_queues[worker].put(
+                    (
+                        parworker.MSG_TASK,
+                        task_id,
+                        kind,
+                        entries,
+                        tuple(chunk_items),
+                        extra,
+                        budget_s,
+                        obs_on,
+                    )
+                )
+            except (OSError, ValueError):
+                self._kill_pool()
+                break
+            pending[task_id] = start
+            metrics.count("par.tasks")
+        return self._collect(pending, chunk, results, metrics)
+
+    def _collect(
+        self, pending: dict[int, int], chunk: int, results: list, metrics
+    ) -> bool:
+        """Drain the result queue for ``pending`` tasks; True on deadline."""
+        deadline_hit = False
+        span = get_tracer().current()
+        stalled_s = 0.0
+        while pending and self._started:
+            try:
+                msg = self._result_queue.get(timeout=POLL_S)
+            except queue_mod.Empty:
+                stalled_s += POLL_S
+                if any(not proc.is_alive() for proc in self._procs) or (
+                    stalled_s >= 600.0
+                ):
+                    self._kill_pool()
+                    break
+                continue
+            stalled_s = 0.0
+            tag, task_id = msg[0], msg[1]
+            start = pending.pop(task_id, None)
+            if start is None:
+                continue  # stale result from an abandoned dispatch
+            if tag == parworker.RES_ERR:
+                metrics.count("par.worker_failures")
+                continue
+            _, _, done, wall_s, obs_payload = msg
+            for offset, value in enumerate(done):
+                results[start + offset] = value
+            metrics.observe("par.worker_wall_s", wall_s)
+            if obs_payload is not None:
+                raw, roots = obs_payload
+                metrics.merge_raw(raw)
+                if span is not None:
+                    span.children.extend(roots)
+            if tag == parworker.RES_DEADLINE:
+                deadline_hit = True
+        return deadline_hit
+
+    # ------------------------------------------------------ serial compute
+
+    def _parent_state(self) -> WorkerState:
+        """A WorkerState facade over the live parent router.
+
+        The in-process path and the worker path run the *same* compute
+        functions; only the router instance differs.
+        """
+        state = WorkerState.__new__(WorkerState)
+        state.router = self.router
+        state._estimate_models = self._estimate_models
+        return state

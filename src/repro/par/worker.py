@@ -1,0 +1,291 @@
+"""Worker-process side of the parallel executor.
+
+Each worker owns a full replica of the parent's routing state: the
+pickled :class:`~repro.db.Design` plus a :class:`GlobalRouter` rebuilt
+with the parent's constructor arguments.  The replica is kept
+bit-identical by replaying the parent's append-only mutation log
+(route commits/rip-ups, cell moves, full array resyncs) in order
+before every task — integer increments on float64 arrays are exact, so
+replayed demand equals parent demand bit-for-bit, and the PR 4
+cost-field parity discipline then makes every derived cost identical.
+
+The compute functions here are *pure with respect to committed state*:
+they read the replica and return candidate results without committing
+anything (maze computation temporarily rips the net's own route and
+restores it before returning).  The parent's serial fallback calls the
+same functions against the live router, which is what makes
+``workers=1`` and ``workers=N`` byte-identical by construction.
+
+Spawn-safety: this module keeps no module-level mutable state — every
+worker's state lives in a :class:`WorkerState` local to
+:func:`worker_main` — and is importable without side effects, so it
+works under both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import TYPE_CHECKING
+
+from repro.guard.deadline import DeadlineExceeded, deadline_scope
+from repro.obs import get_metrics
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer, use_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.groute import GlobalRouter
+
+Node = tuple[int, int, int]
+
+#: queue message tags, parent -> worker
+MSG_TASK = "task"
+MSG_STOP = "stop"
+#: queue message tags, worker -> parent
+RES_OK = "ok"
+RES_DEADLINE = "deadline"
+RES_ERR = "err"
+
+
+class WorkerState:
+    """One worker's routing replica plus per-process caches."""
+
+    __slots__ = ("router", "_estimate_models")
+
+    def __init__(self, router: "GlobalRouter") -> None:
+        self.router = router
+        self._estimate_models: dict[bool, tuple[object, object]] = {}
+
+    def estimate_models(self, use_penalty: bool) -> tuple[object, object]:
+        """(CostModel, CostField) pair for candidate estimation.
+
+        Mirrors :class:`CrpFramework`'s ablation setup: ``use_penalty=
+        False`` prices congestion-blind with a fresh model/field pair
+        over the same graph, built once per process.
+        """
+        return estimate_models_for(
+            self.router, use_penalty, self._estimate_models
+        )
+
+
+def estimate_models_for(
+    router: "GlobalRouter",
+    use_penalty: bool,
+    cache: dict[bool, tuple[object, object]],
+) -> tuple[object, object]:
+    """Cached estimation model/field pair (shared with the parent path)."""
+    pair = cache.get(use_penalty)
+    if pair is not None:
+        return pair
+    if use_penalty:
+        pair = (router.cost, router.field)
+    else:
+        from repro.grid import CostField, CostModel, CostParams
+
+        params = CostParams(
+            wire_weight=router.cost.params.wire_weight,
+            via_weight=router.cost.params.via_weight,
+            slope=router.cost.params.slope,
+            use_penalty=False,
+        )
+        model = CostModel(router.graph, params)
+        fld = CostField(router.graph, params) if router.field is not None else None
+        pair = (model, fld)
+    cache[use_penalty] = pair
+    return pair
+
+
+# ------------------------------------------------------------------ replica
+
+
+def build_router(payload: bytes) -> "GlobalRouter":
+    """Rebuild the routing state from the parent's init payload."""
+    from repro.groute import GlobalRouter
+
+    design, ctor_args = pickle.loads(payload)
+    return GlobalRouter(design, **ctor_args)
+
+
+def apply_entries(router: "GlobalRouter", entries: tuple) -> None:
+    """Replay a slice of the parent's mutation log, in order.
+
+    Entry forms:
+
+    * ``("r", edges, sign)`` — a route commit (+1) or rip-up (-1),
+      replayed through :meth:`RoutingGraph.apply_route` so the cost
+      field sees the same per-edge notifications as the parent's.
+    * ``("m", name, x, y, orient)`` — one cell move.
+    * ``("a", wire, via, positions)`` — full resync: overwrite the
+      usage arrays and cell positions, then invalidate the cost field
+      (the parent emits this when something mutated arrays behind the
+      graph's back, e.g. a transaction rollback's belt-and-braces
+      invalidation).
+    """
+    for entry in entries:
+        tag = entry[0]
+        if tag == "r":
+            router.graph.apply_route(list(entry[1]), entry[2])
+        elif tag == "m":
+            router.design.move_cell(entry[1], entry[2], entry[3], entry[4])
+        elif tag == "a":
+            _, wire, via, positions = entry
+            for arr, new in zip(router.graph.wire_usage, wire):
+                arr[:] = new
+            for arr, new in zip(router.graph.via_usage, via):
+                arr[:] = new
+            if positions:
+                cells = router.design.cells
+                for name in sorted(positions):
+                    x, y, orient = positions[name]
+                    cell = cells[name]
+                    if (cell.x, cell.y, cell.orient) != (x, y, orient):
+                        router.design.move_cell(name, x, y, orient)
+            router.invalidate_cost_fields()
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"unknown log entry tag {tag!r}")
+
+
+# ------------------------------------------------------- pure compute fns
+
+
+def compute_pattern_route(
+    router: "GlobalRouter", net_name: str
+) -> tuple[tuple, tuple]:
+    """RSMT + 3D pattern route of one net, without committing.
+
+    Identical to the compute half of :meth:`GlobalRouter.route_net`;
+    the caller owns the commit.
+    """
+    net = router.design.nets[net_name]
+    terminals = router.terminals_of(net)
+    edges = router._route_tree(terminals) if len(terminals) > 1 else set()
+    return tuple(sorted(edges)), tuple(terminals)
+
+
+def compute_maze_route(
+    router: "GlobalRouter", net_name: str, old_edges: tuple
+) -> tuple[tuple, tuple]:
+    """Overflow-averse maze route of one net, without committing.
+
+    Identical to the compute half of :meth:`GlobalRouter._maze_reroute`:
+    the net's own committed route is ripped locally so the search does
+    not price against itself, and restored before returning (net-zero
+    on the replica's arrays, so replicas stay in sync).  A deadline
+    expiring mid-net propagates; the caller falls back to the serial
+    deadline-safe path for this net.
+    """
+    from repro.groute.maze import maze_route
+
+    graph = router.graph
+    old = list(old_edges)
+    if old:
+        graph.apply_route(old, sign=-1)
+    try:
+        net = router.design.nets[net_name]
+        terminals = router.terminals_of(net)
+        edges: set = set()
+        if len(terminals) > 1:
+            connected: set[Node] = {terminals[0]}
+            for terminal in terminals[1:]:
+                path = maze_route(
+                    graph,
+                    router.cost,
+                    sources=set(connected),
+                    targets={terminal},
+                    overflow_penalty=10.0 * router.cost.params.via_weight,
+                    field=router.field,
+                )
+                if path is None:
+                    get_metrics().count("groute.maze_fallbacks")
+                    fallback = router._route_segment(
+                        next(iter(connected)),
+                        (terminal[1], terminal[2]),
+                        terminal[0],
+                    )
+                    path = fallback[0] if fallback else []
+                edges.update(path)
+                connected.add(terminal)
+                for edge in path:
+                    a, b = edge.endpoints(graph)
+                    connected.add(a)
+                    connected.add(b)
+        return tuple(sorted(edges)), tuple(terminals)
+    finally:
+        if old:
+            graph.apply_route(old, sign=1)
+
+
+def compute_estimate(
+    state: WorkerState, candidate: object, use_penalty: bool
+) -> float:
+    """Eq. 10 candidate cost (read-only; identical to the ECC step)."""
+    from repro.core.estimate import estimate_candidate_cost
+
+    model, fld = state.estimate_models(use_penalty)
+    router = state.router
+    with router.pattern3d.using(model, fld):
+        return estimate_candidate_cost(router.design, router, candidate)
+
+
+def compute_item(state: WorkerState, kind: str, item: object, extra: object):
+    """Dispatch one work item; shared by workers and the serial path."""
+    if kind == "route":
+        return compute_pattern_route(state.router, item)
+    if kind == "maze":
+        return compute_maze_route(state.router, item[0], item[1])
+    if kind == "estimate":
+        return compute_estimate(state, item, bool(extra))
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+# --------------------------------------------------------------- main loop
+
+
+def worker_main(worker_id: int, task_queue, result_queue, payload: bytes) -> None:
+    """Entry point of one worker process.
+
+    Replays log entries, runs the chunk under the parent-supplied
+    deadline budget, and ships results (plus optional metrics/span
+    payloads) back.  Any exception is reported to the parent, which
+    recomputes the chunk serially — a dead task never kills the run.
+    """
+    state = WorkerState(build_router(payload))
+    while True:
+        msg = task_queue.get()
+        if msg[0] == MSG_STOP:
+            break
+        _, task_id, kind, entries, items, extra, budget_s, obs_on = msg
+        wall0 = time.perf_counter()
+        try:
+            apply_entries(state.router, entries)
+            done: list = []
+            expired = False
+
+            def run() -> None:
+                nonlocal expired
+                try:
+                    with deadline_scope(budget_s, name="par.worker"):
+                        for item in items:
+                            done.append(compute_item(state, kind, item, extra))
+                except DeadlineExceeded:
+                    expired = True
+
+            obs_payload = None
+            if obs_on:
+                registry = MetricsRegistry()
+                tracer = Tracer()
+                with use_metrics(registry), use_tracer(tracer):
+                    with tracer.span(
+                        "par.task", worker=worker_id, kind=kind, items=len(items)
+                    ):
+                        run()
+                obs_payload = (registry.raw(), tracer.roots)
+            else:
+                run()
+            wall_s = time.perf_counter() - wall0
+            tag = RES_DEADLINE if expired else RES_OK
+            result_queue.put((tag, task_id, done, wall_s, obs_payload))
+        except Exception as exc:  # repro: noqa:REPRO-G002 — worker isolation: the parent recomputes the chunk serially
+            result_queue.put(
+                (RES_ERR, task_id, f"{type(exc).__name__}: {exc}", 0.0, None)
+            )

@@ -338,6 +338,81 @@ class TestScalarCostLoops:
         )
 
 
+# ------------------------------------------------------------ rule: X001
+
+
+class TestWorkerModuleState:
+    PAR_PATH = "src/repro/par/mod.py"
+
+    def test_fires_on_module_level_mutable_bindings(self):
+        assert "REPRO-X001" in rules_fired(
+            "CACHE = {}\n", self.PAR_PATH
+        )
+        assert "REPRO-X001" in rules_fired(
+            "PENDING = []\n", self.PAR_PATH
+        )
+        assert "REPRO-X001" in rules_fired(
+            "SEEN = set()\n", self.PAR_PATH
+        )
+        assert "REPRO-X001" in rules_fired(
+            """
+            from collections import defaultdict
+            BY_NET = defaultdict(list)
+            """,
+            self.PAR_PATH,
+        )
+        assert "REPRO-X001" in rules_fired(
+            "SQUARES = [i * i for i in range(4)]\n", self.PAR_PATH
+        )
+
+    def test_fires_on_module_level_rng_even_when_seeded(self):
+        # REPRO-D001 already catches *unseeded* RNGs everywhere; X001 is
+        # about the binding living at module scope at all — a seeded
+        # stream still diverges once parent and workers draw from it.
+        assert "REPRO-X001" in rules_fired(
+            """
+            import random
+            RNG = random.Random(42)
+            """,
+            self.PAR_PATH,
+        )
+
+    def test_quiet_on_immutable_bindings_and_all(self):
+        assert "REPRO-X001" not in rules_fired(
+            """
+            CHUNK = 8
+            KINDS = ("route", "maze", "estimate")
+            NAMES = frozenset(("a", "b"))
+            __all__ = ["ParallelExecutor"]
+            """,
+            self.PAR_PATH,
+        )
+
+    def test_quiet_on_function_locals_and_class_attributes(self):
+        assert "REPRO-X001" not in rules_fired(
+            """
+            class WorkerState:
+                __slots__ = ("cache",)
+
+            def worker_main(queue):
+                results = []
+                cache = {}
+                return results, cache
+            """,
+            self.PAR_PATH,
+        )
+
+    def test_scoped_to_par_and_error_severity(self):
+        code = "CACHE = {}\n"
+        assert "REPRO-X001" not in rules_fired(code, "src/repro/groute/mod.py")
+        fired = [
+            f
+            for f in lint_snippet(code, self.PAR_PATH)
+            if f.rule == "REPRO-X001"
+        ]
+        assert fired and all(f.severity is Severity.ERROR for f in fired)
+
+
 # ------------------------------------------------------------ rule: G002
 
 

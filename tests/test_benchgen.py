@@ -118,3 +118,51 @@ def test_test2_less_congested_than_test5():
     """The suite encodes the paper's congestion ordering."""
     assert SUITE["ispd18_test2"].utilization < SUITE["ispd18_test5"].utilization
     assert SUITE["ispd18_test2"].num_blockages < SUITE["ispd18_test5"].num_blockages
+
+
+def test_same_spec_generates_identical_def_bytes():
+    """Regression for the RNG plumbing: two generations, one byte stream.
+
+    Every generator path derives from the single seeded stream built by
+    ``DesignSpec.rng()``, so regenerating a spec must reproduce the DEF
+    byte-for-byte — the property ``repro.par`` spawn workers rely on.
+    """
+    from repro.lefdef.def_parser import write_def
+
+    first = write_def(generate_design(small_spec())).encode()
+    second = write_def(generate_design(small_spec())).encode()
+    assert first == second
+
+
+def test_generation_reproducible_across_spawn_process():
+    """A spawn-started interpreter regenerates the same DEF bytes.
+
+    ``spawn`` re-imports everything from scratch, so any hidden
+    module-level randomness (import-time shuffles, unseeded globals)
+    would change the bytes.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.lefdef.def_parser import write_def
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    script = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.benchgen.generator import DesignSpec, generate_design\n"
+        "from repro.lefdef.def_parser import write_def\n"
+        "spec = DesignSpec(name='gen_test', num_cells=80, num_nets=70,\n"
+        "                  utilization=0.75, gcells_per_axis=8,\n"
+        "                  num_iopins=6, seed=99)\n"
+        "sys.stdout.write(write_def(generate_design(spec)))\n"
+    )
+    child = subprocess.run(
+        [sys.executable, "-c", script, str(src)],
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=120,
+    )
+    local = write_def(generate_design(small_spec()))
+    assert child.stdout == local

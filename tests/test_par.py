@@ -1,0 +1,336 @@
+"""Tests for ``repro.par``: partitioner properties, byte-identical
+parallel routing, commit-stage conflict handling, deadline and fault
+behaviour, and worker metrics/span merging."""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import random
+
+import pytest
+
+from repro.core import CrpConfig, CrpFramework
+from repro.groute import GlobalRouter
+from repro.guard import DeadlineExceeded, FaultPlan, deadline_scope, use_faults
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer, use_tracer
+from repro.par import ParallelExecutor, ParTask, partition, region_of
+from repro.par import worker as parworker
+from repro.par.partition import rects_overlap
+from helpers import fresh_small
+
+
+def routes_of(router: GlobalRouter) -> dict[str, tuple]:
+    return {
+        name: tuple(sorted(route.edges))
+        for name, route in router.routes.items()
+    }
+
+
+def positions_of(design) -> dict[str, tuple]:
+    return {
+        name: (cell.x, cell.y, cell.orient)
+        for name, cell in design.cells.items()
+    }
+
+
+def route_serial(design, rrr: int = 2) -> GlobalRouter:
+    router = GlobalRouter(design)
+    router.route_all(rrr_passes=rrr)
+    return router
+
+
+def route_parallel(design, workers: int, rrr: int = 2, **executor_kw):
+    """Route with the batched pipeline; returns (router, executor)."""
+    router = GlobalRouter(design)
+    executor = ParallelExecutor(workers, **executor_kw)
+    executor.bind(router)
+    router.route_all(rrr_passes=rrr)
+    return router, executor
+
+
+# --------------------------------------------------------------- partition
+
+
+class TestPartitioner:
+    def test_random_rects_conflict_free_and_serial_precedent(self):
+        # Property test over random regions: within a batch regions are
+        # pairwise disjoint, and an overlapping earlier task always
+        # lands in a strictly earlier batch (serial precedence).
+        rng = random.Random(7)
+        nx = ny = 32
+        tasks = []
+        for index in range(200):
+            x0 = rng.randrange(nx)
+            y0 = rng.randrange(ny)
+            x1 = min(nx - 1, x0 + rng.randrange(6))
+            y1 = min(ny - 1, y0 + rng.randrange(6))
+            tasks.append(ParTask(f"net{index}", index, (x0, y0, x1, y1)))
+        batches = partition(tasks, nx, ny)
+
+        batch_of = {}
+        for b, batch in enumerate(batches):
+            for task in batch:
+                batch_of[task.name] = b
+        assert sorted(batch_of) == sorted(t.name for t in tasks)
+
+        for batch in batches:
+            for i, a in enumerate(batch):
+                for b in batch[i + 1 :]:
+                    assert not rects_overlap(a.rect, b.rect)
+            # canonical order survives inside each batch
+            assert [t.index for t in batch] == sorted(t.index for t in batch)
+
+        for i, early in enumerate(tasks):
+            for late in tasks[i + 1 :]:
+                if rects_overlap(early.rect, late.rect):
+                    assert batch_of[early.name] < batch_of[late.name]
+
+    def test_disjoint_tasks_form_one_batch(self):
+        tasks = [
+            ParTask("a", 0, (0, 0, 1, 1)),
+            ParTask("b", 1, (4, 4, 5, 5)),
+            ParTask("c", 2, (8, 0, 9, 1)),
+        ]
+        assert [len(b) for b in partition(tasks, 16, 16)] == [3]
+
+    def test_chained_overlaps_serialize(self):
+        tasks = [
+            ParTask("a", 0, (0, 0, 4, 4)),
+            ParTask("b", 1, (3, 3, 7, 7)),
+            ParTask("c", 2, (6, 6, 9, 9)),
+        ]
+        batches = partition(tasks, 16, 16)
+        assert [[t.name for t in b] for b in batches] == [["a"], ["b"], ["c"]]
+
+    def test_region_of_expands_and_clips(self):
+        terminals = [(0, 0, 3), (1, 7, 5)]
+        assert region_of(terminals, 8, 8, expand=2) == (0, 1, 7, 7)
+        assert region_of([(0, 4, 4)], 8, 8, expand=0) == (4, 4, 4, 4)
+
+    def test_empty_input(self):
+        assert partition([], 8, 8) == []
+
+
+# ------------------------------------------------------------------ parity
+
+
+class TestParity:
+    def test_workers1_batched_matches_legacy_serial(self):
+        serial = route_serial(fresh_small())
+        batched, executor = route_parallel(fresh_small(), workers=1)
+        try:
+            assert routes_of(batched) == routes_of(serial)
+            assert batched.total_wirelength_dbu() == serial.total_wirelength_dbu()
+            assert batched.total_vias() == serial.total_vias()
+        finally:
+            executor.close()
+
+    def test_pool_workers_match_serial_byte_for_byte(self):
+        serial = route_serial(fresh_small())
+        expected = routes_of(serial)
+        for workers in (2, 4):
+            router, executor = route_parallel(
+                fresh_small(), workers=workers, chunk=1
+            )
+            try:
+                assert routes_of(router) == expected, f"workers={workers}"
+                assert (
+                    router.total_wirelength_dbu()
+                    == serial.total_wirelength_dbu()
+                )
+            finally:
+                executor.close()
+
+    def test_crp_iteration_parity_including_estimation(self):
+        # Full CR&P iteration: candidate estimation runs on the pool
+        # and cell moves + reroutes must land byte-identically.
+        design_a = fresh_small()
+        serial = route_serial(design_a)
+        CrpFramework(design_a, serial, CrpConfig(seed=0)).run(1)
+
+        design_b = fresh_small()
+        router, executor = route_parallel(design_b, workers=2, chunk=1)
+        try:
+            CrpFramework(design_b, router, CrpConfig(seed=0)).run(1)
+            assert positions_of(design_b) == positions_of(design_a)
+            assert routes_of(router) == routes_of(serial)
+        finally:
+            executor.close()
+
+    def test_spawn_start_method_parity(self):
+        serial = route_serial(fresh_small(), rrr=0)
+        router, executor = route_parallel(
+            fresh_small(), workers=2, rrr=0, chunk=1, start_method="spawn"
+        )
+        try:
+            assert routes_of(router) == routes_of(serial)
+        finally:
+            executor.close()
+
+
+# ---------------------------------------------------------- commit stage
+
+
+class TestCommitStage:
+    def test_induced_conflict_rerouted_serially_and_counted(self):
+        # Hand _commit_batch a doctored result whose route collides
+        # with an earlier commit of the same batch: the commit stage
+        # must detect the dirtied GCells, count par.conflicts, and
+        # re-route the victim serially against live state.
+        control = route_serial(fresh_small(), rrr=0)
+        names = sorted(control.routes)
+        first, second = names[0], names[1]
+
+        router = route_serial(fresh_small(), rrr=0)
+        router.rip_up(first)
+        router.rip_up(second)
+        clean_first = parworker.compute_pattern_route(router, first)
+        real_second = parworker.compute_pattern_route(router, second)
+        # `second` claims to have computed `first`'s exact edges, which
+        # are guaranteed to touch the GCells `first` just dirtied.
+        doctored = (clean_first[0], real_second[1])
+        tasks = [
+            ParTask(first, 0, (0, 0, 0, 0)),
+            ParTask(second, 1, (0, 0, 0, 0)),
+        ]
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            router._commit_batch(
+                tasks, {first: clean_first, second: doctored}, maze=False
+            )
+        assert registry.counter("par.conflicts") == 1
+        # The serial re-route restored the canonical outcome.
+        assert routes_of(router) == routes_of(control)
+
+    def test_missing_result_falls_back_to_serial_route(self):
+        control = route_serial(fresh_small(), rrr=0)
+        name = sorted(control.routes)[0]
+        router = route_serial(fresh_small(), rrr=0)
+        router.rip_up(name)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            router._commit_batch(
+                [ParTask(name, 0, (0, 0, 0, 0))], {name: None}, maze=False
+            )
+        assert registry.counter("par.conflicts") == 0
+        assert routes_of(router) == routes_of(control)
+
+
+# ------------------------------------------------------ deadlines + faults
+
+
+class TestDeadlines:
+    def test_parent_deadline_propagates_through_batched_route(self):
+        router = GlobalRouter(fresh_small())
+        executor = ParallelExecutor(1).bind(router)
+        try:
+            with deadline_scope(0.0, name="test"):
+                with pytest.raises(DeadlineExceeded):
+                    router.route_all(rrr_passes=0)
+        finally:
+            executor.close()
+
+    def test_worker_reports_deadline_with_partial_results(self):
+        # Run the worker loop in-process with plain queues: a zero
+        # budget must come back as RES_DEADLINE (partial, not fatal).
+        router = GlobalRouter(fresh_small())
+        payload = pickle.dumps((router.design, router.ctor_args))
+        names = tuple(sorted(router.design.nets))[:3]
+        task_queue: queue.Queue = queue.Queue()
+        result_queue: queue.Queue = queue.Queue()
+        task_queue.put(
+            (parworker.MSG_TASK, 11, "route", (), names, None, 0.0, False)
+        )
+        task_queue.put((parworker.MSG_STOP,))
+        parworker.worker_main(0, task_queue, result_queue, payload)
+        tag, task_id, done, wall_s, obs = result_queue.get_nowait()
+        assert tag == parworker.RES_DEADLINE
+        assert task_id == 11
+        assert len(done) < len(names)
+        assert obs is None
+
+    def test_worker_computes_full_chunk_with_budget(self):
+        router = GlobalRouter(fresh_small())
+        payload = pickle.dumps((router.design, router.ctor_args))
+        names = tuple(sorted(router.design.nets))[:3]
+        task_queue: queue.Queue = queue.Queue()
+        result_queue: queue.Queue = queue.Queue()
+        task_queue.put(
+            (parworker.MSG_TASK, 3, "route", (), names, None, None, False)
+        )
+        task_queue.put((parworker.MSG_STOP,))
+        parworker.worker_main(0, task_queue, result_queue, payload)
+        tag, _, done, _, _ = result_queue.get_nowait()
+        assert tag == parworker.RES_OK
+        state = parworker.WorkerState(GlobalRouter(fresh_small()))
+        assert done == [
+            parworker.compute_item(state, "route", name, None)
+            for name in names
+        ]
+
+
+class TestFaultInjection:
+    def test_armed_par_worker_fault_degrades_to_serial(self):
+        serial = route_serial(fresh_small(), rrr=0)
+        registry = MetricsRegistry()
+        plan = FaultPlan().fail("par.worker", times=2)
+        router = GlobalRouter(fresh_small())
+        executor = ParallelExecutor(2, chunk=1).bind(router)
+        try:
+            with use_metrics(registry), use_faults(plan):
+                router.route_all(rrr_passes=0)
+        finally:
+            executor.close()
+        assert plan.fired("par.worker") == 2
+        assert registry.counter("par.worker_failures") == 2
+        assert registry.counter("par.serial_fallback_items") >= 2
+        assert routes_of(router) == routes_of(serial)
+
+
+# -------------------------------------------------------------- obs merge
+
+
+class TestObservabilityMerge:
+    def _find_spans(self, span, name, out):
+        if span.name == name:
+            out.append(span)
+        for child in span.children:
+            self._find_spans(child, name, out)
+        return out
+
+    def test_worker_metrics_and_spans_fold_into_parent(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with use_metrics(registry), use_tracer(tracer):
+            router, executor = route_parallel(
+                fresh_small(), workers=2, rrr=0, chunk=1
+            )
+            executor.close()
+        assert registry.counter("groute.nets_routed") == len(router.routes)
+        assert registry.counter("par.batches") > 0
+        assert registry.counter("par.tasks") > 0
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["par.worker_wall_s"]["count"] > 0
+        assert snapshot["gauges"]["par.pool_workers"] == 2
+
+        par_spans: list = []
+        for root in tracer.roots:
+            self._find_spans(root, "par.route", par_spans)
+        assert par_spans
+        tasks: list = []
+        for span in par_spans:
+            self._find_spans(span, "par.task", tasks)
+        assert tasks and all(
+            span.meta["kind"] == "route" for span in tasks
+        )
+
+    def test_metrics_silent_when_not_recording(self):
+        router, executor = route_parallel(
+            fresh_small(), workers=2, rrr=0, chunk=1
+        )
+        executor.close()
+        # No ambient registry: workers must not have shipped payloads
+        # (obs_on False) and the run still completes with full routes.
+        assert len(router.routes) == len(router.design.nets)
