@@ -44,6 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.benchgen import make_design  # noqa: E402
+from repro.ckpt import atomic_write  # noqa: E402
 from repro.core import CrpConfig  # noqa: E402
 from repro.core.candidates import generate_candidates  # noqa: E402
 from repro.core.estimate import estimate_candidate_cost  # noqa: E402
@@ -248,7 +249,7 @@ def main() -> int:
     report = run_benchmarks()
     text = json.dumps(report, indent=1)
     if args.output:
-        args.output.write_text(text + "\n")
+        atomic_write(args.output, text + "\n")
         print(f"wrote {args.output}")
     else:
         print(text)

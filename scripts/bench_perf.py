@@ -35,6 +35,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.benchgen import make_design  # noqa: E402
+from repro.ckpt import atomic_write  # noqa: E402
 from repro.core import CrpFramework  # noqa: E402
 from repro.droute import DetailedRouter  # noqa: E402
 from repro.evalmetrics import evaluate  # noqa: E402
@@ -186,7 +187,7 @@ def main() -> int:
     report = run_benchmarks()
     text = json.dumps(report, indent=1)
     if args.output:
-        args.output.write_text(text + "\n")
+        atomic_write(args.output, text + "\n")
         print(f"wrote {args.output}")
     else:
         print(text)

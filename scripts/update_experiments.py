@@ -8,9 +8,14 @@ Copies every table under bench_results/ into the section after the
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.ckpt import atomic_write  # noqa: E402
+
 MARKER = "<!-- RESULTS -->"
 
 ORDER = [
@@ -35,7 +40,7 @@ def main() -> None:
         if not path.exists():
             continue
         blocks.append(f"\n### {name}\n\n```\n{path.read_text().rstrip()}\n```\n")
-    experiments.write_text("".join(blocks))
+    atomic_write(experiments, "".join(blocks))
     print(f"updated {experiments}")
 
 

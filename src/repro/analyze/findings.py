@@ -126,11 +126,13 @@ def load_report(path: str | Path) -> tuple[list[Finding], dict[str, object]]:
 
 
 def write_report(path: str | Path, document: dict[str, object]) -> Path:
-    """Write the JSON report document; returns the path written."""
+    """Write the JSON report document atomically; returns the path written."""
+    # Function-level import: repro.ckpt depends on repro.obs/guard, and
+    # repro.analyze is imported by CI before either — keep it lazy.
+    from repro.ckpt.atomic import atomic_write
+
     path = Path(path)
-    if path.parent != Path("."):
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document, indent=1, sort_keys=False) + "\n")
+    atomic_write(path, json.dumps(document, indent=1, sort_keys=False) + "\n")
     return path
 
 

@@ -17,6 +17,8 @@ Rule families:
 * ``REPRO-C*`` — classics (mutable defaults, shadowed builtins).
 * ``REPRO-X*`` — cross-process safety (state that silently diverges
   between the parent and ``repro.par`` pool workers).
+* ``REPRO-R*`` — robustness (durability of on-disk artifacts; a crash
+  mid-write must never leave a truncated report or checkpoint behind).
 
 Suppress one occurrence with ``# repro: noqa:RULE-ID`` on the flagged
 line (comma-separate multiple IDs; a bare ``# repro: noqa`` suppresses
@@ -741,3 +743,72 @@ def _check_worker_module_state(ctx: ModuleContext):
             continue
         label = ", ".join(f"`{n}`" for n in names) or "binding"
         yield value, f"{reason} bound to {label} in worker-reachable code"
+
+
+# ------------------------------------------------- REPRO-R: robustness
+
+#: serializer calls whose output landing in a plain write is a
+#: torn-file hazard (a crash mid-write truncates the artifact)
+_SERIALIZE_DUMPS = frozenset(("json.dumps", "pickle.dumps"))
+_SERIALIZE_DUMP = frozenset(("json.dump", "pickle.dump"))
+_DURABLE_SUFFIXES = (".json", ".ckpt")
+_DURABLE_FRAGMENTS = ("ckpt", "checkpoint")
+
+
+def _contains_serializer(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and _call_name(sub) in _SERIALIZE_DUMPS:
+            return True
+    return False
+
+
+def _durable_path_constant(node: ast.expr) -> bool:
+    """Does this expression mention a `.json`/checkpoint path literal?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            value = sub.value.lower()
+            if value.endswith(_DURABLE_SUFFIXES) or any(
+                frag in value for frag in _DURABLE_FRAGMENTS
+            ):
+                return True
+    return False
+
+
+@rule(
+    "REPRO-R001",
+    Severity.ERROR,
+    "non-atomic write of a JSON/checkpoint artifact; a crash mid-write "
+    "leaves a truncated file that poisons the next consumer",
+    "write through `repro.ckpt.atomic_write(path, data)` (temp file in "
+    "the target directory + fsync + `os.rename`)",
+    path_exclude=("/ckpt/atomic",),
+)
+def _check_non_atomic_writes(ctx: ModuleContext):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        short = name.split(".")[-1]
+        if short in ("write_text", "write_bytes") and any(
+            _contains_serializer(arg) for arg in node.args
+        ):
+            yield node, (
+                f"`.{short}()` of serialized data is not atomic"
+            )
+        elif name in _SERIALIZE_DUMP and len(node.args) >= 2:
+            yield node, (
+                f"`{name}()` streams into an open handle; a crash "
+                "mid-stream truncates the file"
+            )
+        elif (
+            (short == "open" or name == "open")
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+            and node.args[1].value in ("w", "wb")
+            and _durable_path_constant(node.args[0])
+        ):
+            yield node, (
+                "`open(..., \"w\")` on a JSON/checkpoint path is not "
+                "atomic"
+            )

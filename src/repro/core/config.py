@@ -48,8 +48,16 @@ class CrpConfig:
     #: process pool.  Defaults from the ``CRP_WORKERS`` env var so CI
     #: can exercise the parallel path without touching call sites.
     workers: int | None = None
+    #: directory for ``repro.ckpt`` stage/iteration checkpoints.  ``None``
+    #: disables checkpointing; excluded from the checkpoint fingerprint
+    #: (it cannot change results).  Defaults from ``CRP_CHECKPOINT_DIR``.
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
+        if self.checkpoint_dir is None:
+            env_dir = os.environ.get("CRP_CHECKPOINT_DIR", "").strip()
+            if env_dir:
+                self.checkpoint_dir = env_dir
         if self.workers is None:
             env = os.environ.get("CRP_WORKERS", "").strip()
             if env:

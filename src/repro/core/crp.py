@@ -130,21 +130,45 @@ class CrpFramework:
                 else None
             )
 
-    def run(self, iterations: int = 1) -> CrpResult:
+    def run(
+        self,
+        iterations: int = 1,
+        start: int = 0,
+        on_iteration=None,
+    ) -> CrpResult:
         """Execute ``k`` CR&P iterations (the paper reports k=1 and 10).
 
         CR&P is an improvement loop, so a wall-clock deadline expiring
         mid-run stops iterating (counting ``crp.deadline_stops``) and
         returns the iterations that completed, rather than raising.
+
+        ``start`` skips the first iterations (checkpoint resume: the
+        state they produced was already restored), and ``on_iteration``
+        — called as ``on_iteration(index, stats)`` after each completed
+        iteration — is where ``repro.ckpt`` writes its iteration-
+        boundary checkpoints.
         """
         result = CrpResult()
-        for k in range(iterations):
+        for k in range(start, iterations):
             try:
                 result.iterations.append(self.run_iteration(k))
             except DeadlineExceeded:
                 get_metrics().count("crp.deadline_stops")
                 break
+            if on_iteration is not None:
+                on_iteration(k, result.iterations[-1])
         return result
+
+    # ------------------------------------------------------ checkpoint hooks
+
+    def rng_state(self) -> object:
+        """The simulated-annealing RNG state (checkpoint payload)."""
+        return self._rng.getstate()
+
+    def set_rng_state(self, state: object) -> None:
+        """Restore the RNG mid-stream so resumed labeling draws the
+        exact numbers the interrupted run would have drawn."""
+        self._rng.setstate(state)
 
     def run_until_converged(
         self,

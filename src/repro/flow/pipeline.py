@@ -13,6 +13,14 @@ stage marks ``FlowResult.failed`` with a :class:`FailureReport`
 callers always get back whatever the flow managed to produce.  Each
 stage also passes a ``fault_point`` (``flow.GR`` etc.) so the recovery
 paths are testable.
+
+Crash durability (``repro.ckpt``): with ``checkpoint_dir`` set the
+flow writes an atomic, checksummed checkpoint after global routing and
+after every CR&P iteration; ``resume=True`` restores the newest
+compatible checkpoint and continues from that boundary with
+byte-identical final routes, positions, and quality.  Corrupt or stale
+checkpoints are skipped (reported on ``FlowResult.ckpt_failures``),
+and a failed checkpoint *write* never kills the run it protects.
 """
 
 from __future__ import annotations
@@ -50,6 +58,18 @@ class FlowResult:
     failed: bool = False
     #: what killed the failing stage, when ``failed`` is set
     failure: FailureReport | None = None
+    #: ``"<stage>:<iteration>"`` of the checkpoint this run resumed
+    #: from, or ``None`` for a cold start
+    resumed_from: str | None = None
+    #: SHA-256 of the canonical final committed-routes serialization
+    #: (``repro.ckpt.routes_digest``) — what the resume-parity tests and
+    #: the CI ``ckpt`` job compare byte-for-byte
+    routes_digest: str | None = None
+    #: SHA-256 of the canonical final cell placement
+    placement_digest: str | None = None
+    #: non-fatal checkpoint problems (corrupt/stale files skipped on
+    #: load, failed writes) — informational, the run continued
+    ckpt_failures: list[FailureReport] = field(default_factory=list)
     #: the ``flow.run`` span tree this run recorded
     trace: Span | None = None
     #: metrics snapshot at flow end (cumulative within an ``observe()``)
@@ -97,6 +117,8 @@ def run_flow(
     stage_budget_s: float | None = None,
     guard: GuardPolicy | None = None,
     workers: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> FlowResult:
     """Run the full flow on ``design``.
 
@@ -112,11 +134,24 @@ def run_flow(
     pipeline in-process, ``N > 1`` routes and estimates on a process
     pool with byte-identical results.  Falls back to
     ``config.workers`` (which itself reads ``CRP_WORKERS``).
+
+    ``checkpoint_dir`` enables ``repro.ckpt`` durability: a checkpoint
+    is written after GR and after every CR&P iteration (falls back to
+    ``config.checkpoint_dir``, which itself reads
+    ``CRP_CHECKPOINT_DIR``).  With ``resume=True`` the newest
+    compatible checkpoint in that directory is restored and the flow
+    continues from its boundary — final routes, positions, and quality
+    are byte-identical to an uninterrupted run.
     """
     if mode not in ("baseline", "crp", "fontana"):
         raise ValueError(f"unknown flow mode {mode!r}")
+    config = config or CrpConfig()
     if workers is None:
-        workers = (config or CrpConfig()).workers
+        workers = config.workers
+    if checkpoint_dir is None:
+        checkpoint_dir = config.checkpoint_dir
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
     result = FlowResult(
         design=design.name,
         mode=mode,
@@ -127,6 +162,11 @@ def run_flow(
         from repro.par import ParallelExecutor
 
         executor = ParallelExecutor(workers)
+    ckpt = None
+    if checkpoint_dir is not None:
+        from repro.ckpt import FlowCheckpointer
+
+        ckpt = FlowCheckpointer(checkpoint_dir, design, mode, config)
     try:
         with ensure_observation() as obs:
             tracer = obs.tracer
@@ -140,13 +180,15 @@ def run_flow(
                         design, mode, crp_iterations, config,
                         baseline_budget_s, rrr_passes, skip_detailed,
                         stage_budget_s, guard, result, tracer, obs.metrics,
-                        executor,
+                        executor, ckpt, resume,
                     )
             result.trace = root
             result.metrics = obs.metrics.snapshot()
     finally:
         if executor is not None:
             executor.close()
+        if ckpt is not None:
+            result.ckpt_failures.extend(ckpt.failures)
     return result
 
 
@@ -169,6 +211,45 @@ def _stage(result: FlowResult, name: str, metrics, budget_s: float | None) -> It
         metrics.count(f"flow.failed.{name}")
 
 
+def _restore_from_checkpoint(
+    design: Design,
+    result: FlowResult,
+    tracer,
+    metrics,
+    ckpt,
+) -> tuple[GlobalRouter | None, dict | None]:
+    """Try to resume: ``(restored router, state)`` or ``(None, None)``.
+
+    Any restore failure — on top of the corrupt/stale skipping the
+    store already does — degrades to a cold start (reported on
+    ``FlowResult.ckpt_failures``), never a crash: a broken checkpoint
+    must not be able to take down the run it was meant to protect.
+    """
+    from repro.ckpt import restore_design, restore_router
+    from repro.guard import FailureReport
+
+    with tracer.span("ckpt.restore"):
+        state = ckpt.load_resume()
+        if state is None:
+            return None, None
+        try:
+            restore_design(design, state)
+            router = restore_router(design, state)
+        except Exception as exc:  # repro: noqa:REPRO-G002 — a bad restore degrades to a cold start, reported not raised
+            metrics.count("ckpt.restore_failures")
+            ckpt.failures.append(
+                FailureReport.from_exception("ckpt.restore", exc)
+            )
+            return None, None
+    saved_raw = state.get("metrics_raw")
+    if saved_raw:
+        metrics.merge_raw(saved_raw)
+    result.runtime.update(state.get("runtime", {}))
+    result.resumed_from = f"{state['stage']}:{state['iteration']}"
+    metrics.count("ckpt.restores")
+    return router, state
+
+
 def _run_stages(
     design: Design,
     mode: str,
@@ -183,27 +264,69 @@ def _run_stages(
     tracer,
     metrics,
     executor=None,
+    ckpt=None,
+    resume: bool = False,
 ) -> None:
     """The stage sequence, inside the open ``flow.run`` span."""
     router: GlobalRouter | None = None
-    with tracer.span("flow.GR") as sp, _stage(result, "GR", metrics, stage_budget_s):
-        fault_point("flow.GR")
-        router = GlobalRouter(design)
-        if executor is not None:
-            executor.bind(router)
-        router.route_all(rrr_passes=rrr_passes)
-    result.runtime["GR"] = sp.wall_s
-    if result.failed:
-        return
+    restored: dict | None = None
+    if ckpt is not None and resume:
+        router, restored = _restore_from_checkpoint(
+            design, result, tracer, metrics, ckpt
+        )
+    if router is not None and executor is not None:
+        executor.bind(router)
+    if router is None:
+        with tracer.span("flow.GR") as sp, _stage(
+            result, "GR", metrics, stage_budget_s
+        ):
+            fault_point("flow.GR")
+            router = GlobalRouter(design)
+            if executor is not None:
+                executor.bind(router)
+            router.route_all(rrr_passes=rrr_passes)
+        result.runtime["GR"] = sp.wall_s
+        if result.failed:
+            return
+        if ckpt is not None:
+            ckpt.save_boundary(
+                stage="GR", iteration=0, router=router,
+                runtime=result.runtime,
+            )
 
     if mode == "crp":
         framework = CrpFramework(design, router, config, guard=guard)
+        start = 0
+        prior_stats: list = []
+        if restored is not None:
+            start = int(restored["iteration"])
+            prior_stats = list(restored["crp_stats"])
+            if restored["rng_state"] is not None:
+                framework.set_rng_state(restored["rng_state"])
+        on_iteration = None
+        if ckpt is not None:
+            new_stats: list = []
+
+            def on_iteration(k: int, stats) -> None:
+                new_stats.append(stats)
+                ckpt.save_boundary(
+                    stage="CRP", iteration=k + 1, router=router,
+                    rng_state=framework.rng_state(),
+                    crp_stats=prior_stats + new_stats,
+                    runtime=result.runtime,
+                )
         with tracer.span("flow.CRP") as sp, _stage(
             result, "CRP", metrics, stage_budget_s
         ):
             fault_point("flow.CRP")
-            result.crp = framework.run(crp_iterations)
-        result.runtime["CRP"] = sp.wall_s
+            result.crp = framework.run(
+                crp_iterations, start=start, on_iteration=on_iteration
+            )
+        if result.crp is not None and prior_stats:
+            result.crp.iterations[:0] = prior_stats
+        result.runtime["CRP"] = (
+            result.runtime.get("CRP", 0.0) + sp.wall_s
+        )
         if result.failed:
             return
     elif mode == "fontana":
@@ -231,6 +354,10 @@ def _run_stages(
     result.gr_wirelength_dbu = router.total_wirelength_dbu()
     result.gr_vias = router.total_vias()
     result.gr_overflow = router.total_overflow()
+    from repro.ckpt import positions_digest, routes_digest
+
+    result.routes_digest = routes_digest(router)
+    result.placement_digest = positions_digest(design)
     result.legal = check_legality(design).is_legal
     metrics.gauge("flow.gr_overflow", result.gr_overflow)
     if not result.legal:

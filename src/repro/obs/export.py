@@ -71,11 +71,13 @@ def write_trace(
     metrics: dict[str, dict[str, object]] | None = None,
     extra: dict[str, object] | None = None,
 ) -> Path:
-    """Write the JSON trace document; returns the path written."""
+    """Write the JSON trace document atomically; returns the path written."""
+    # Function-level import: repro.ckpt builds on repro.obs, so a
+    # module-level import here would be a cycle.
+    from repro.ckpt.atomic import atomic_write
+
     path = Path(path)
-    if path.parent != Path("."):
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(trace_document(spans, metrics, extra), indent=1))
+    atomic_write(path, json.dumps(trace_document(spans, metrics, extra), indent=1))
     return path
 
 

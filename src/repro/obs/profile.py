@@ -105,17 +105,17 @@ def profile_flow(
 def write_bench_obs(
     reports: list[ProfileReport], path: str | Path = "BENCH_obs.json"
 ) -> Path:
-    """Write the multi-design ``BENCH_obs.json`` document."""
+    """Write the multi-design ``BENCH_obs.json`` document atomically."""
     import json
+
+    from repro.ckpt.atomic import atomic_write
 
     path = Path(path)
     doc = {
         "schema": "repro.obs/bench-1",
         "designs": [r.document() for r in reports],
     }
-    if path.parent != Path("."):
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(doc, indent=1))
+    atomic_write(path, json.dumps(doc, indent=1))
     return path
 
 

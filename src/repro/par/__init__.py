@@ -6,9 +6,16 @@ pool with bit-identical state replicas (:mod:`repro.par.worker`), and
 commits results in canonical net order with conflict re-routing
 (:class:`GlobalRouter`'s commit stage) — so ``--workers N`` output is
 byte-identical to ``--workers 1`` for any N.
+
+The pool is self-healing: a :class:`PoolSupervisor` daemon thread
+watches worker heartbeats, and the executor respawns dead/hung workers
+(mutation-log replay, bounded retries with exponential backoff) or
+shrinks the rotation before ever falling back to serial execution —
+see :mod:`repro.par.supervisor`.
 """
 
 from repro.par.executor import ParallelExecutor
 from repro.par.partition import ParTask, partition, region_of
+from repro.par.supervisor import PoolSupervisor
 
-__all__ = ("ParallelExecutor", "ParTask", "partition", "region_of")
+__all__ = ("ParallelExecutor", "ParTask", "PoolSupervisor", "partition", "region_of")

@@ -25,6 +25,20 @@ The executor owns three responsibilities:
    run in-process against the live router, which is the parity
    baseline the tests pin parallel runs against.
 
+4. **Self-healing.**  A :class:`~repro.par.supervisor.PoolSupervisor`
+   daemon thread watches worker processes and their heartbeat slots;
+   workers it flags (dead, or hung past ``hang_timeout_s``) are healed
+   here on the dispatcher's thread: up to ``max_respawns`` respawns
+   per slot with exponential backoff, the fresh worker's replica
+   rebuilt by replaying the mutation log from entry 0, and the dead
+   worker's in-flight tasks re-dispatched (``par.retries``).  A slot
+   that exhausts its respawn budget is *shrunk* out of the rotation
+   (``par.pool_shrinks``); only when no live slot remains does the
+   pool fall back to the serial in-process path.  Determinism is
+   untouched: replicas are bit-identical by construction and compute
+   functions are pure, so *which* worker computes a chunk never
+   changes its result.
+
 Observability: when the ambient tracer/metrics are recording, workers
 run each task under a private registry + tracer and ship back raw
 metrics and ``par.task`` span trees; the parent folds the metrics in
@@ -36,6 +50,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 import queue as queue_mod
+import time
 from typing import TYPE_CHECKING
 
 from repro.guard.deadline import DeadlineExceeded, check_deadline, remaining_budget
@@ -43,6 +58,11 @@ from repro.guard.faults import fault_point
 from repro.obs import get_metrics, get_tracer
 
 from repro.par import worker as parworker
+from repro.par.supervisor import (
+    REASON_HUNG,
+    REASON_INJECTED,
+    PoolSupervisor,
+)
 from repro.par.worker import WorkerState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -65,6 +85,10 @@ class ParallelExecutor:
         *,
         chunk: int = ROUTE_CHUNK,
         start_method: str | None = None,
+        poll_s: float = POLL_S,
+        hang_timeout_s: float = 30.0,
+        max_respawns: int = 2,
+        respawn_backoff_s: float = 0.05,
     ) -> None:
         self.workers = max(1, int(workers))
         self.chunk = max(1, int(chunk))
@@ -73,6 +97,12 @@ class ParallelExecutor:
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
         self.start_method = start_method
+        self.poll_s = max(0.05, float(poll_s))
+        self.hang_timeout_s = float(hang_timeout_s)
+        #: respawn budget *per worker slot*; exhausting it shrinks the slot
+        self.max_respawns = max(0, int(max_respawns))
+        #: base of the exponential backoff before each respawn attempt
+        self.respawn_backoff_s = max(0.0, float(respawn_backoff_s))
         self.router: "GlobalRouter | None" = None
         self._log: list[tuple] = []
         self._procs: list = []
@@ -84,6 +114,14 @@ class ParallelExecutor:
         self._started = False
         self._dead = False
         self._next_task = 0
+        self._ctx = None
+        self._payload: bytes | None = None
+        self._heartbeats = None
+        self._alive: list[bool] = []
+        self._respawns: list[int] = []
+        #: task_id -> dispatch record, for re-dispatch after a heal
+        self._inflight: dict[int, dict] = {}
+        self._supervisor: PoolSupervisor | None = None
 
     # ----------------------------------------------------------- lifecycle
 
@@ -99,21 +137,37 @@ class ParallelExecutor:
         return self.workers > 1 and not self._dead
 
     def close(self) -> None:
-        """Stop workers and detach; safe to call twice."""
+        """Stop workers and detach; safe to call twice.
+
+        Reaping escalates: cooperative STOP + ``join(timeout)``, then
+        ``terminate()`` (SIGTERM), then ``kill()`` (SIGKILL) — a worker
+        wedged in uninterruptible C code cannot leak past close.
+        """
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         if self._started:
-            for task_queue in self._task_queues:
+            for worker in self._live_workers():
                 try:
-                    task_queue.put((parworker.MSG_STOP,))
+                    self._task_queues[worker].put((parworker.MSG_STOP,))
                 except (OSError, ValueError):
                     pass
             for proc in self._procs:
+                if proc is None:
+                    continue
                 proc.join(timeout=2.0)
                 if proc.is_alive():
                     proc.terminate()
                     proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(timeout=1.0)
             self._procs = []
             self._task_queues = []
             self._result_queue = None
+            self._heartbeats = None
+            self._alive = []
+            self._inflight.clear()
             self._started = False
         if self.router is not None and self.router.executor is self:
             self.router.executor = None
@@ -168,25 +222,24 @@ class ParallelExecutor:
             return
         router = self.router
         ctx = mp.get_context(self.start_method)
-        payload = pickle.dumps(
+        self._ctx = ctx
+        self._payload = pickle.dumps(
             (router.design, router.ctor_args),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         self._result_queue = ctx.Queue()
-        self._task_queues = []
-        self._procs = []
-        for worker_id in range(self.workers):
-            task_queue = ctx.Queue()
-            proc = ctx.Process(
-                target=parworker.worker_main,
-                args=(worker_id, task_queue, self._result_queue, payload),
-                daemon=True,
-            )
-            proc.start()
-            self._task_queues.append(task_queue)
-            self._procs.append(proc)
-        self._started = True
+        # Heartbeat slots start "fresh" so a worker still deserializing
+        # its replica is not flagged before its first beat.
+        self._heartbeats = ctx.Array("d", [time.monotonic()] * self.workers)
+        self._task_queues = [None] * self.workers
+        self._procs = [None] * self.workers
         self._worker_seq = [0] * self.workers
+        self._alive = [True] * self.workers
+        self._respawns = [0] * self.workers
+        self._inflight = {}
+        for worker_id in range(self.workers):
+            self._spawn_worker(worker_id)
+        self._started = True
         self._synced_pos = {
             name: (cell.x, cell.y, cell.orient)
             for name, cell in router.design.cells.items()
@@ -202,19 +255,187 @@ class ParallelExecutor:
                 None,
             )
         )
+        self._supervisor = PoolSupervisor(
+            self,
+            poll_s=min(1.0, self.poll_s),
+            hang_timeout_s=self.hang_timeout_s,
+        )
+        self._supervisor.start()
         get_metrics().gauge("par.pool_workers", self.workers)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        """(Re)start one worker slot with a fresh task queue."""
+        task_queue = self._ctx.Queue()
+        self._heartbeats[worker_id] = time.monotonic()
+        proc = self._ctx.Process(
+            target=parworker.worker_main,
+            args=(
+                worker_id,
+                task_queue,
+                self._result_queue,
+                self._payload,
+                self._heartbeats,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._task_queues[worker_id] = task_queue
+        self._procs[worker_id] = proc
+
+    def _live_workers(self) -> list[int]:
+        """Slots still in the dispatch rotation."""
+        return [w for w in range(len(self._procs)) if self._alive[w]]
 
     def _kill_pool(self) -> None:
         """Abandon a wedged/broken pool; remaining work runs in-process."""
         get_metrics().count("par.pool_failures")
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         for proc in self._procs:
-            if proc.is_alive():
+            if proc is not None and proc.is_alive():
                 proc.terminate()
         self._procs = []
         self._task_queues = []
         self._result_queue = None
+        self._heartbeats = None
+        self._alive = []
+        self._inflight.clear()
         self._started = False
         self._dead = True
+
+    # ---------------------------------------------------------- self-healing
+
+    def _heal_suspects(self, metrics) -> None:
+        """Drain the supervisor's suspect map and repair each worker.
+
+        Runs on the dispatcher's thread (before enqueueing a batch and
+        on every result-queue poll timeout), so all pool mutations stay
+        single-threaded.  Augments the supervisor with a direct process
+        liveness scan — a worker can die between supervisor polls.
+        """
+        if not self._started:
+            return
+        suspects: dict[int, str] = {}
+        if self._supervisor is not None:
+            suspects.update(self._supervisor.take_suspects())
+        for worker in self._live_workers():
+            proc = self._procs[worker]
+            if proc is not None and not proc.is_alive():
+                suspects.setdefault(worker, "died")
+        for worker in sorted(suspects):
+            if not self._started:
+                return
+            if self._alive[worker]:
+                self._heal_worker(worker, suspects[worker], metrics)
+
+    def _heal_worker(self, worker: int, reason: str, metrics) -> None:
+        """Respawn (bounded, backed-off) or shrink one suspect slot."""
+        proc = self._procs[worker]
+        # Recheck before acting: a suspicion can go stale (the flagged
+        # process was already healed, or a "hung" worker beat again).
+        # An injected fault skips the recheck by design — its worker is
+        # genuinely healthy, the point is to force the recovery path.
+        if reason == REASON_HUNG:
+            if (
+                proc is not None
+                and proc.is_alive()
+                and time.monotonic() - self._heartbeats[worker] <= self.hang_timeout_s
+            ):
+                return
+        elif reason != REASON_INJECTED:
+            if proc is not None and proc.is_alive():
+                return
+        orphans = {
+            tid: info
+            for tid, info in self._inflight.items()
+            if info["worker"] == worker
+        }
+        attempt = self._respawns[worker]
+        if attempt >= self.max_respawns:
+            self._shrink(worker, metrics)
+        else:
+            self._respawns[worker] = attempt + 1
+            metrics.count("par.respawns")
+            self._reap(worker)
+            time.sleep(self.respawn_backoff_s * (2**attempt))
+            self._spawn_worker(worker)
+            # Fresh replica: replay the whole mutation log on next task.
+            self._worker_seq[worker] = 0
+        if self._supervisor is not None:
+            self._supervisor.forget(worker)
+        if not self._live_workers():
+            self._kill_pool()
+            return
+        self._requeue(orphans, metrics)
+
+    def _reap(self, worker: int) -> None:
+        """Force one worker process down (terminate -> kill escalation)."""
+        proc = self._procs[worker]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        old_queue = self._task_queues[worker]
+        if old_queue is not None:
+            try:
+                old_queue.close()
+                old_queue.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
+        self._task_queues[worker] = None
+        self._procs[worker] = None
+
+    def _shrink(self, worker: int, metrics) -> None:
+        """Retire a slot whose respawn budget is exhausted."""
+        metrics.count("par.pool_shrinks")
+        self._alive[worker] = False
+        self._reap(worker)
+        metrics.gauge("par.pool_workers", len(self._live_workers()))
+
+    def _requeue(self, orphans: dict[int, dict], metrics) -> None:
+        """Re-dispatch a healed worker's in-flight tasks.
+
+        All in-flight tasks of one batch were dispatched at the same
+        log sequence (the log only grows between batches), so any live
+        worker's replica can serve any orphan: the entry slice
+        ``log[worker_seq:seq]`` is the full log for a fresh respawn and
+        empty for an already-caught-up neighbour.
+        """
+        live = self._live_workers()
+        if not live:
+            return
+        for n, task_id in enumerate(sorted(orphans)):
+            info = orphans[task_id]
+            target = (
+                info["worker"]
+                if self._alive[info["worker"]]
+                else live[n % len(live)]
+            )
+            seq = info["seq"]
+            entries = tuple(self._log[self._worker_seq[target] : seq])
+            if seq > self._worker_seq[target]:
+                self._worker_seq[target] = seq
+            info["worker"] = target
+            try:
+                self._task_queues[target].put(
+                    (
+                        parworker.MSG_TASK,
+                        task_id,
+                        info["kind"],
+                        entries,
+                        info["items"],
+                        info["extra"],
+                        info["budget_s"],
+                        info["obs_on"],
+                    )
+                )
+            except (OSError, ValueError):
+                self._kill_pool()
+                return
+            metrics.count("par.retries")
 
     # ----------------------------------------------------------- dispatch
 
@@ -290,6 +511,11 @@ class ParallelExecutor:
         metrics,
     ) -> bool:
         """Ship chunks to workers and fold results back; True on deadline."""
+        # Heal before enqueueing: a worker that died while the pool sat
+        # idle must not be handed a batch's worth of tasks first.
+        self._heal_suspects(metrics)
+        if not self._started:
+            return False
         self._sync_moves()
         budget_s = remaining_budget()
         obs_on = bool(get_metrics().recording or get_tracer().recording)
@@ -298,6 +524,7 @@ class ParallelExecutor:
             for start in range(0, len(items), chunk)
         ]
         pending: dict[int, int] = {}  # task_id -> chunk start index
+        live = self._live_workers()
         for chunk_index, (start, chunk_items) in enumerate(chunks):
             try:
                 fault_point("par.worker")
@@ -306,12 +533,13 @@ class ParallelExecutor:
             except Exception:  # repro: noqa:REPRO-G002 — injected dispatch fault; the chunk reruns in-process
                 metrics.count("par.worker_failures")
                 continue
-            worker = chunk_index % self.workers
+            worker = live[chunk_index % len(live)]
             seq = len(self._log)
             entries = tuple(self._log[self._worker_seq[worker] : seq])
             self._worker_seq[worker] = seq
             task_id = self._next_task
             self._next_task += 1
+            task_items = tuple(chunk_items)
             try:
                 self._task_queues[worker].put(
                     (
@@ -319,7 +547,7 @@ class ParallelExecutor:
                         task_id,
                         kind,
                         entries,
-                        tuple(chunk_items),
+                        task_items,
                         extra,
                         budget_s,
                         obs_on,
@@ -329,8 +557,20 @@ class ParallelExecutor:
                 self._kill_pool()
                 break
             pending[task_id] = start
+            self._inflight[task_id] = {
+                "worker": worker,
+                "seq": seq,
+                "kind": kind,
+                "items": task_items,
+                "extra": extra,
+                "budget_s": budget_s,
+                "obs_on": obs_on,
+            }
             metrics.count("par.tasks")
-        return self._collect(pending, chunk, results, metrics)
+        deadline_hit = self._collect(pending, chunk, results, metrics)
+        for task_id in pending:  # abandoned (pool killed) tasks
+            self._inflight.pop(task_id, None)
+        return deadline_hit
 
     def _collect(
         self, pending: dict[int, int], chunk: int, results: list, metrics
@@ -341,18 +581,20 @@ class ParallelExecutor:
         stalled_s = 0.0
         while pending and self._started:
             try:
-                msg = self._result_queue.get(timeout=POLL_S)
+                msg = self._result_queue.get(timeout=self.poll_s)
             except queue_mod.Empty:
-                stalled_s += POLL_S
-                if any(not proc.is_alive() for proc in self._procs) or (
-                    stalled_s >= 600.0
-                ):
+                stalled_s += self.poll_s
+                if stalled_s >= 600.0:
+                    # Healing exhausted: even respawned workers are not
+                    # producing.  Abandon the pool, recompute serially.
                     self._kill_pool()
                     break
+                self._heal_suspects(metrics)
                 continue
             stalled_s = 0.0
             tag, task_id = msg[0], msg[1]
             start = pending.pop(task_id, None)
+            self._inflight.pop(task_id, None)
             if start is None:
                 continue  # stale result from an abandoned dispatch
             if tag == parworker.RES_ERR:

@@ -1,0 +1,136 @@
+"""Pool supervision: heartbeat-driven worker liveness detection.
+
+The :class:`PoolSupervisor` is a daemon thread owned by one
+:class:`~repro.par.executor.ParallelExecutor`.  It *detects* trouble —
+it never heals it.  Each poll it scans the live worker slots and flags
+as **suspect** any worker whose process has exited (``died``) or whose
+heartbeat slot has gone stale past ``hang_timeout_s`` (``hung``;
+workers beat from a dedicated thread, so a long legitimate compute
+keeps beating while a deadlocked or frozen process goes silent).
+
+Healing stays on the executor's own thread: the dispatcher drains
+:meth:`take_suspects` before enqueueing work and while waiting on the
+result queue, then respawns (bounded retries, exponential backoff,
+mutation-log replay) or shrinks the pool — see
+``ParallelExecutor._heal_suspects``.  Splitting detection from repair
+keeps every mutation of pool state single-threaded, so the supervisor
+needs no locks beyond the suspect map itself.
+
+Fault site ``par.heartbeat``: fault plans are process-local and cannot
+reach a worker, so the injection hook lives in the parent-side scan —
+``plan.force("par.heartbeat", w)`` makes worker ``w`` look hung for one
+poll, which exercises the whole hang→respawn→replay path without a
+real frozen process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.guard.faults import fault_point
+from repro.obs import get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.par.executor import ParallelExecutor
+
+#: suspicion reasons, in escalation order used by the executor
+REASON_DIED = "died"
+REASON_HUNG = "hung"
+REASON_INJECTED = "injected"
+
+
+class PoolSupervisor(threading.Thread):
+    """Daemon thread that watches one executor's worker pool."""
+
+    def __init__(
+        self,
+        executor: "ParallelExecutor",
+        *,
+        poll_s: float = 1.0,
+        hang_timeout_s: float = 30.0,
+    ) -> None:
+        super().__init__(name="repro-par-supervisor", daemon=True)
+        self._executor = executor
+        self.poll_s = max(0.05, float(poll_s))
+        self.hang_timeout_s = float(hang_timeout_s)
+        self._halt = threading.Event()
+        self._lock = threading.Lock()
+        self._suspects: dict[int, str] = {}
+        #: workers already counted in ``par.hung_workers`` (one count per
+        #: hang episode, not per poll)
+        self._counted_hung: set[int] = set()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration
+        while not self._halt.wait(self.poll_s):
+            try:
+                self.scan()
+            except Exception:  # repro: noqa:REPRO-G002 — supervision must outlive any scan hiccup
+                get_metrics().count("par.supervisor_faults")
+
+    # ------------------------------------------------------------ detection
+
+    def scan(self) -> None:
+        """One liveness pass over the live worker slots."""
+        executor = self._executor
+        procs = executor._procs
+        heartbeats = executor._heartbeats
+        if not executor._started or heartbeats is None:
+            return
+        try:
+            forced = fault_point("par.heartbeat")
+        except Exception:  # repro: noqa:REPRO-G002 — an armed failure here must not kill supervision
+            get_metrics().count("par.supervisor_faults")
+            forced = None
+        now = time.monotonic()
+        metrics = get_metrics()
+        for worker in range(len(procs)):
+            if not executor._alive[worker]:
+                continue
+            proc = procs[worker]
+            if proc is None:
+                continue
+            if not proc.is_alive():
+                self._flag(worker, REASON_DIED)
+            elif now - heartbeats[worker] > self.hang_timeout_s:
+                if worker not in self._counted_hung:
+                    self._counted_hung.add(worker)
+                    metrics.count("par.hung_workers")
+                self._flag(worker, REASON_HUNG)
+        if forced is not None:
+            worker = int(forced)
+            if 0 <= worker < len(procs) and executor._alive[worker]:
+                metrics.count("par.hung_workers")
+                self._flag(worker, REASON_INJECTED)
+
+    def _flag(self, worker: int, reason: str) -> None:
+        with self._lock:
+            # death outranks staleness; injection outranks both (it must
+            # survive the executor's recovered-in-the-meantime recheck)
+            current = self._suspects.get(worker)
+            if current == REASON_INJECTED:
+                return
+            if current == REASON_DIED and reason == REASON_HUNG:
+                return
+            self._suspects[worker] = reason
+
+    # ------------------------------------------------------------- handoff
+
+    def take_suspects(self) -> dict[int, str]:
+        """Pop the current suspect map (executor thread, before healing)."""
+        with self._lock:
+            suspects, self._suspects = self._suspects, {}
+            self._counted_hung -= set(suspects)
+        return suspects
+
+    def forget(self, worker: int) -> None:
+        """Clear any stale suspicion after ``worker`` was healed."""
+        with self._lock:
+            self._suspects.pop(worker, None)
+            self._counted_hung.discard(worker)

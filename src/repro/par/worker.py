@@ -24,7 +24,9 @@ works under both ``fork`` and ``spawn`` start methods.
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
 import time
 from typing import TYPE_CHECKING
 
@@ -45,6 +47,10 @@ MSG_STOP = "stop"
 RES_OK = "ok"
 RES_DEADLINE = "deadline"
 RES_ERR = "err"
+
+#: seconds between heartbeat writes; the parent's hang timeout is many
+#: multiples of this, so a single missed beat never looks like a hang
+HEARTBEAT_S = 0.5
 
 
 class WorkerState:
@@ -241,15 +247,63 @@ def compute_item(state: WorkerState, kind: str, item: object, extra: object):
 # --------------------------------------------------------------- main loop
 
 
-def worker_main(worker_id: int, task_queue, result_queue, payload: bytes) -> None:
+def _start_heartbeat(worker_id: int, heartbeat) -> threading.Event:
+    """Start the daemon thread that stamps this worker's heartbeat slot.
+
+    Beating from a dedicated thread (started *before* the replica is
+    built — deserializing a large design must not look like a hang)
+    means a worker busy on a long legitimate compute keeps beating,
+    while a deadlocked, frozen, or killed process goes silent and the
+    parent's :class:`~repro.par.supervisor.PoolSupervisor` flags it.
+
+    The same thread doubles as an orphan watchdog: if the parent dies
+    hard (SIGKILL, OOM — nothing ran to stop the pool) this worker is
+    re-parented, ``getppid()`` changes, and the worker ``os._exit``\\ s
+    immediately.  Without this, orphans would block on ``task_queue``
+    forever while holding inherited pipe file descriptors open — which
+    visibly hangs any ``subprocess`` caller capturing the dead parent's
+    output.
+    """
+    halt = threading.Event()
+    parent = os.getppid()
+
+    def beat() -> None:
+        while not halt.is_set():
+            if os.getppid() != parent:
+                os._exit(1)  # orphaned: the parent is gone
+            if heartbeat is not None:
+                heartbeat[worker_id] = time.monotonic()
+            halt.wait(HEARTBEAT_S)
+
+    threading.Thread(
+        target=beat, name=f"repro-par-heartbeat-{worker_id}", daemon=True
+    ).start()
+    return halt
+
+
+def worker_main(
+    worker_id: int, task_queue, result_queue, payload: bytes, heartbeat=None
+) -> None:
     """Entry point of one worker process.
 
     Replays log entries, runs the chunk under the parent-supplied
     deadline budget, and ships results (plus optional metrics/span
     payloads) back.  Any exception is reported to the parent, which
     recomputes the chunk serially — a dead task never kills the run.
+    ``heartbeat`` is a shared double array; slot ``worker_id`` is
+    stamped with ``time.monotonic()`` by a daemon thread so the parent can
+    tell a busy worker from a hung one (the thread also exits the
+    process if the parent dies hard and this worker is orphaned).
     """
-    state = WorkerState(build_router(payload))
+    halt_beat = _start_heartbeat(worker_id, heartbeat)
+    try:
+        state = WorkerState(build_router(payload))
+        _worker_loop(worker_id, task_queue, result_queue, state)
+    finally:
+        halt_beat.set()
+
+
+def _worker_loop(worker_id: int, task_queue, result_queue, state: WorkerState) -> None:
     while True:
         msg = task_queue.get()
         if msg[0] == MSG_STOP:

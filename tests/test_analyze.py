@@ -514,6 +514,76 @@ class TestObsNames:
         )
 
 
+# ------------------------------------------------------------ rule: R001
+
+
+class TestNonAtomicWrites:
+    def test_fires_on_write_text_of_serialized_data(self):
+        assert "REPRO-R001" in rules_fired(
+            """
+            import json
+            def save(path, doc):
+                path.write_text(json.dumps(doc, indent=1))
+            """
+        )
+        assert "REPRO-R001" in rules_fired(
+            """
+            import pickle
+            def save(path, state):
+                path.write_bytes(pickle.dumps(state))
+            """
+        )
+
+    def test_fires_on_dump_into_open_handle(self):
+        assert "REPRO-R001" in rules_fired(
+            """
+            import json
+            def save(fh, doc):
+                json.dump(doc, fh)
+            """
+        )
+
+    def test_fires_on_open_w_of_json_or_checkpoint_path(self):
+        assert "REPRO-R001" in rules_fired(
+            'fh = open("report.json", "w")\n'
+        )
+        assert "REPRO-R001" in rules_fired(
+            'fh = open("run.ckpt", "wb")\n'
+        )
+        assert "REPRO-R001" in rules_fired(
+            'fh = open("checkpoints/state.bin", "wb")\n'
+        )
+
+    def test_is_error_and_repo_wide(self):
+        spec = RULES["REPRO-R001"]
+        assert spec.severity is Severity.ERROR
+        assert spec.path_scope == ()
+        assert "atomic_write" in spec.hint
+
+    def test_quiet_on_atomic_and_plain_writes(self):
+        # The sanctioned pattern: serialize, then atomic_write.
+        assert "REPRO-R001" not in rules_fired(
+            """
+            import json
+            from repro.ckpt import atomic_write
+            def save(path, doc):
+                atomic_write(path, json.dumps(doc, indent=1))
+            """
+        )
+        # Plain text artifacts (LEF/DEF/SVG) are out of scope.
+        assert "REPRO-R001" not in rules_fired(
+            'def save(path, text):\n    path.write_text(text)\n'
+        )
+        # Reads are fine, as is the atomic writer's own implementation path.
+        assert "REPRO-R001" not in rules_fired(
+            'fh = open("report.json", "r")\n'
+        )
+        assert "REPRO-R001" not in rules_fired(
+            "import json\npath.write_text(json.dumps(d))\n",
+            path="src/repro/ckpt/atomic.py",
+        )
+
+
 # ------------------------------------------------------- rules: classics
 
 
