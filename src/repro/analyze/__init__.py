@@ -11,8 +11,21 @@ report format (``repro.analyze/1``):
 * the **flow-invariant checker** (:mod:`repro.analyze.invariants`):
   accounting/connectivity/legality/ILP-shape audits over a loaded
   ``Design``/``GlobalRouter`` state.  Run it with ``crp check``.
+
+A third, interprocedural engine (:mod:`repro.analyze.dataflow`) layers
+project-wide determinism taint, cross-process race, and guard-coverage
+passes (``REPRO-T*``/``REPRO-X*``/``REPRO-G004+``/``REPRO-U001``) on
+top of the linter; :func:`repro.analyze.api.run_source_analysis` runs
+everything with one call, and ``crp analyze`` is the unified CLI.
 """
 
+from repro.analyze.api import (
+    SourceAnalysis,
+    analysis_report,
+    check_baseline,
+    run_source_analysis,
+    update_baseline,
+)
 from repro.analyze.findings import (
     SCHEMA,
     Finding,
@@ -32,6 +45,7 @@ from repro.analyze.linter import (
     lint_paths,
     lint_source,
     suppressions,
+    unused_suppression_findings,
 )
 from repro.analyze.rules import RULES, Rule, rule, rule_table
 from repro.analyze.invariants import (
@@ -46,6 +60,12 @@ from repro.analyze.invariants import (
 
 __all__ = [
     "SCHEMA",
+    "SourceAnalysis",
+    "analysis_report",
+    "check_baseline",
+    "run_source_analysis",
+    "unused_suppression_findings",
+    "update_baseline",
     "Finding",
     "Severity",
     "finding_from_dict",

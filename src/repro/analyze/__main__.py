@@ -1,30 +1,47 @@
-"""``python -m repro.analyze [paths...]`` — run the AST linter.
+"""``python -m repro.analyze [paths...]`` — run the source analyzers.
 
-Exit status is 1 when any error-severity finding survives suppression
-(warnings and infos never fail the run), matching the CI contract.
+Runs the per-file AST linter plus the interprocedural dataflow passes
+(``--no-dataflow`` to skip them).  Exit status is 1 when any
+error-severity finding survives suppression (warnings and infos never
+fail the run), matching the CI contract.
+
+Baseline maintenance:
+
+* ``--update-baseline`` regenerates ``ANALYZE_baseline.json``
+  atomically and byte-stably — the one supported way to bank analyzer
+  changes.
+* ``--check-baseline`` runs the two-sided CI gate: new findings AND
+  baseline entries that no longer fire both fail, with a diff on
+  stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
-from repro.analyze.findings import render_findings, report_document, write_report
-from repro.analyze.linter import LintConfig, lint_paths
-from repro.analyze.rules import rule_table
+from repro.analyze.api import (
+    BASELINE_NAME,
+    analysis_report,
+    check_baseline,
+    run_source_analysis,
+    update_baseline,
+)
+from repro.analyze.findings import render_findings, write_report
+from repro.analyze.linter import LintConfig
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
-        description="Lint Python sources with the repo-specific rules.",
+        description="Lint and dataflow-analyze Python sources with the "
+        "repo-specific rules.",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to analyze (default: src)",
     )
     parser.add_argument(
         "--format",
@@ -42,7 +59,7 @@ def main(argv: list[str] | None = None) -> int:
         "--select",
         metavar="RULES",
         default="",
-        help="comma-separated rule IDs to run exclusively",
+        help="comma-separated rule IDs to report exclusively",
     )
     parser.add_argument(
         "--ignore",
@@ -56,22 +73,62 @@ def main(argv: list[str] | None = None) -> int:
         default=".",
         help="report paths relative to DIR (default: cwd)",
     )
+    parser.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the interprocedural dataflow passes",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=BASELINE_NAME,
+        help=f"baseline report path (default: {BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the baseline from this run and exit",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail unless this run matches the baseline exactly "
+        "(two-sided: new findings and stale baseline entries both fail)",
+    )
     args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        analysis = update_baseline(
+            args.baseline, list(args.paths), relative_to=args.relative_to
+        )
+        print(
+            f"wrote {args.baseline}: {len(analysis.findings)} finding(s), "
+            f"{analysis.suppressed} suppressed, "
+            f"{analysis.files_scanned} file(s)"
+        )
+        return 0
+
+    if args.check_baseline:
+        ok, lines = check_baseline(
+            args.baseline, list(args.paths), relative_to=args.relative_to
+        )
+        for line in lines:
+            print(line)
+        if ok:
+            print(f"baseline OK: {args.baseline}")
+        return 0 if ok else 1
 
     config = LintConfig(
         select=tuple(s for s in args.select.split(",") if s),
         ignore=tuple(s for s in args.ignore.split(",") if s),
     )
-    result = lint_paths(
-        list(args.paths), config, relative_to=Path(args.relative_to)
+    analysis = run_source_analysis(
+        list(args.paths),
+        lint_config=config,
+        dataflow=not args.no_dataflow,
+        relative_to=args.relative_to,
     )
-    document = report_document(
-        result.findings,
-        tool="repro.analyze",
-        files_scanned=result.files_scanned,
-        suppressed=result.suppressed,
-        rule_table=rule_table(),
-    )
+    document = analysis_report(analysis)
     if args.output:
         write_report(args.output, document)
     if args.format == "json":
@@ -79,9 +136,11 @@ def main(argv: list[str] | None = None) -> int:
 
         print(json.dumps(document, indent=1))
     else:
-        print(render_findings(result.findings, suppressed=result.suppressed))
-        print(f"scanned {result.files_scanned} file(s)")
-    return 0 if result.ok else 1
+        print(
+            render_findings(analysis.findings, suppressed=analysis.suppressed)
+        )
+        print(f"scanned {analysis.files_scanned} file(s)")
+    return 0 if analysis.ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,225 @@
+"""One driver for every source-level analysis, and the baseline gate.
+
+:func:`run_source_analysis` is what both entry points —
+``python -m repro.analyze`` and ``crp analyze`` — call: the per-file
+linter, the interprocedural dataflow passes, and the REPRO-U001
+unused-suppression sweep (which must run last, over the merged
+used-suppression map of everything before it).
+
+The committed ``ANALYZE_baseline.json`` is the report document of a
+clean run over ``src/``: :func:`update_baseline` regenerates it
+byte-stably (atomic write, sorted keys at every level), and
+:func:`check_baseline` is the CI gate — byte comparison first, then a
+two-sided semantic diff (new findings AND baseline entries that no
+longer fire both fail) plus a rule-table diff, so drift in either
+direction is visible in the job summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.dataflow.engine import DataflowConfig, run_dataflow
+from repro.analyze.dataflow.ruleset import register_dataflow_rules
+from repro.analyze.findings import (
+    Finding,
+    Severity,
+    load_report,
+    report_document,
+    write_report,
+)
+from repro.analyze.linter import (
+    LintConfig,
+    iter_python_files,
+    lint_paths,
+    unused_suppression_findings,
+)
+from repro.analyze.rules import rule_table
+
+BASELINE_NAME = "ANALYZE_baseline.json"
+
+
+@dataclass(slots=True)
+class SourceAnalysis:
+    """Combined outcome of linter + dataflow + unused-suppression."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: deterministic dataflow statistics ({} when dataflow was skipped)
+    dataflow_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+
+def run_source_analysis(
+    paths: list[str | Path] | None = None,
+    *,
+    lint_config: LintConfig | None = None,
+    dataflow: bool = True,
+    dataflow_config: DataflowConfig | None = None,
+    relative_to: str | Path | None = ".",
+) -> SourceAnalysis:
+    """Run every source-level pass over ``paths`` (default ``src``)."""
+    register_dataflow_rules()
+    paths = list(paths) if paths is not None else ["src"]
+    out = SourceAnalysis()
+
+    lint = lint_paths(paths, lint_config, relative_to=relative_to)
+    out.findings.extend(lint.findings)
+    out.files_scanned = lint.files_scanned
+    out.suppressed = lint.suppressed
+    out.parse_errors = list(lint.parse_errors)
+    used: dict[str, set[tuple[int, str]]] = {
+        path: set(pairs) for path, pairs in lint.used_suppressions.items()
+    }
+
+    if dataflow:
+        flow = run_dataflow(paths, dataflow_config, relative_to=relative_to)
+        out.findings.extend(flow.findings)
+        out.suppressed += flow.suppressed
+        out.dataflow_stats = dict(flow.stats)
+        for path, pairs in flow.used_suppressions.items():
+            used.setdefault(path, set()).update(pairs)
+
+    # U001 last: it needs the final merged used-suppression map
+    sources: dict[str, str] = {}
+    for file_path in iter_python_files(paths):
+        report_path = file_path
+        if relative_to is not None:
+            try:
+                report_path = file_path.resolve().relative_to(
+                    Path(relative_to).resolve()
+                )
+            except ValueError:
+                report_path = file_path
+        try:
+            sources[Path(report_path).as_posix()] = file_path.read_text()
+        except OSError:
+            continue  # already a parse_errors entry from the linter
+    out.findings.extend(unused_suppression_findings(sources, used))
+
+    # --select/--ignore apply uniformly, dataflow findings included
+    if lint_config is not None:
+        if lint_config.select:
+            out.findings = [
+                f for f in out.findings if f.rule in lint_config.select
+            ]
+        if lint_config.ignore:
+            out.findings = [
+                f for f in out.findings if f.rule not in lint_config.ignore
+            ]
+
+    out.findings.sort(key=Finding.sort_key)
+    return out
+
+
+def analysis_report(analysis: SourceAnalysis) -> dict[str, object]:
+    """The deterministic SARIF-lite document for one analysis run."""
+    extra: dict[str, object] = {}
+    if analysis.dataflow_stats:
+        extra["dataflow"] = dict(sorted(analysis.dataflow_stats.items()))
+    return report_document(
+        analysis.findings,
+        tool="repro.analyze",
+        files_scanned=analysis.files_scanned,
+        suppressed=analysis.suppressed,
+        rule_table=rule_table(),
+        extra=extra,
+    )
+
+
+def _render_document(document: dict[str, object]) -> str:
+    return json.dumps(document, indent=1, sort_keys=False) + "\n"
+
+
+def update_baseline(
+    baseline_path: str | Path = BASELINE_NAME,
+    paths: list[str | Path] | None = None,
+    *,
+    relative_to: str | Path | None = ".",
+) -> SourceAnalysis:
+    """Regenerate the committed baseline (atomic, sorted, byte-stable)."""
+    analysis = run_source_analysis(paths, relative_to=relative_to)
+    write_report(baseline_path, analysis_report(analysis))
+    return analysis
+
+
+def _finding_keys(findings: list[Finding]) -> set[tuple]:
+    return {
+        (f.path, f.line, f.rule, f.severity.value, f.message)
+        for f in findings
+    }
+
+
+def check_baseline(
+    baseline_path: str | Path = BASELINE_NAME,
+    paths: list[str | Path] | None = None,
+    *,
+    relative_to: str | Path | None = ".",
+) -> tuple[bool, list[str]]:
+    """Two-sided baseline gate; returns (ok, human-readable diff lines).
+
+    Fails on: a missing/unreadable baseline, any current finding absent
+    from the baseline (*regression*), any baseline finding that no
+    longer fires (*stale baseline* — the fix must be banked by
+    regenerating), and any rule-table drift.  Byte-identical documents
+    short-circuit to ok.
+    """
+    baseline_path = Path(baseline_path)
+    analysis = run_source_analysis(paths, relative_to=relative_to)
+    document = analysis_report(analysis)
+    rendered = _render_document(document)
+    try:
+        committed = baseline_path.read_text()
+    except OSError as exc:
+        return False, [f"baseline unreadable: {exc}"]
+    if committed == rendered:
+        return True, []
+
+    lines: list[str] = []
+    try:
+        base_findings, base_doc = load_report(baseline_path)
+    except (ValueError, KeyError) as exc:
+        return False, [f"baseline unparsable: {exc}"]
+    current = _finding_keys(analysis.findings)
+    baseline = _finding_keys(base_findings)
+    for key in sorted(current - baseline):
+        lines.append(
+            f"NEW     {key[2]} {key[3]} at {key[0]}:{key[1]} — {key[4]}"
+        )
+    for key in sorted(baseline - current):
+        lines.append(
+            f"GONE    {key[2]} {key[3]} at {key[0]}:{key[1]} — {key[4]}"
+        )
+    base_rules = dict(base_doc.get("rules", {}))
+    cur_rules = rule_table()
+    for rid in sorted(set(base_rules) | set(cur_rules)):
+        old, new = base_rules.get(rid), cur_rules.get(rid)
+        if old == new:
+            continue
+        if old is None:
+            lines.append(f"RULE+   {rid}: {new}")
+        elif new is None:
+            lines.append(f"RULE-   {rid}: {old}")
+        else:
+            lines.append(f"RULE~   {rid}: {old!r} -> {new!r}")
+    if not lines:
+        lines.append(
+            "document drift without finding/rule changes (summary or "
+            "stats fields differ) — regenerate with --update-baseline"
+        )
+    lines.append(
+        "baseline drift: regenerate with "
+        "`python -m repro.analyze --update-baseline` and commit the diff"
+    )
+    return False, lines

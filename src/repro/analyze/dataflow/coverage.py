@@ -1,0 +1,276 @@
+"""Fault-site and deadline coverage checks (REPRO-G004/G005).
+
+Both close interprocedural gaps in the per-file guard rules:
+
+* **REPRO-G004** — an ``except FaultInjected``/``except
+  DeadlineExceeded`` handler is only meaningful if its try body can
+  actually raise that exception: transitively reaching a
+  ``fault_point`` (resp. ``check_deadline``/``tick``/
+  ``deadline_scope``) call.  A handler over a body that provably
+  cannot raise is either a dropped guard call or dead code.  Opaque
+  (unresolved) calls in the try body get the benefit of the doubt.
+
+* **REPRO-G005** — REPRO-G001 demands a deadline check *syntactically
+  inside* unbounded loops under the solver paths.  This pass follows
+  the call graph instead: every unbounded ``while`` in any function
+  reachable from ``run_flow`` (over plain call edges — threads and
+  processes own their budgets) must reach a tick either in its own
+  body or through a callee.  This both extends coverage beyond the
+  G001 path scope and un-flags loops whose tick lives one call down.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.dataflow.callgraph import (
+    CallIndex,
+    _own_nodes,
+    propagate_flag,
+    reachable,
+)
+from repro.analyze.dataflow.project import Project
+from repro.analyze.dataflow.ruleset import register_dataflow_rules
+from repro.analyze.findings import Finding
+from repro.analyze.rules import RULES, _call_name
+
+_TICK_NAMES = frozenset(("check_deadline", "tick"))
+# fault_point counts: FaultPlan.fail() can arm a caller-supplied
+# exception class, so an injected fault may BE a DeadlineExceeded
+_DEADLINE_RAISERS = frozenset(
+    ("check_deadline", "tick", "deadline_scope", "DeadlineTicker",
+     "fault_point")
+)
+_FAULT_RAISERS = frozenset(("fault_point",))
+
+
+def _direct_flag(project: Project, names: frozenset[str]) -> dict[str, bool]:
+    """qualname -> does the function body call one of ``names`` directly."""
+    out: dict[str, bool] = {}
+    for info in project.functions_sorted():
+        hit = False
+        for node in _own_nodes(info):
+            if isinstance(node, ast.Call):
+                if _call_name(node).split(".")[-1] in names:
+                    hit = True
+                    break
+        out[info.qualname] = hit
+    return out
+
+
+def coverage_findings(
+    project: Project,
+    index: CallIndex,
+    *,
+    flow_entries: tuple[str, ...] = ("run_flow",),
+) -> list[Finding]:
+    register_dataflow_rules()
+    findings = _handler_findings(project, index)
+    findings.extend(_loop_findings(project, index, flow_entries))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+# ----------------------------------------------------------- REPRO-G004
+
+
+def _handler_kind(type_node: ast.expr | None) -> str | None:
+    """"fault"/"deadline" when the handler names a guard exception."""
+    if type_node is None:
+        return None
+    nodes = (
+        type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    for node in nodes:
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name == "FaultInjected":
+            return "fault"
+        if name == "DeadlineExceeded":
+            return "deadline"
+    return None
+
+
+def _body_can_raise(
+    body: list[ast.stmt],
+    sites: dict[int, str | None],
+    raises_flag: dict[str, bool],
+    raiser_names: frozenset[str],
+    exc_name: str,
+) -> bool:
+    """Can this try body (transitively) raise the guard exception?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # a nested def's body does not run inside the try
+                continue
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                for sub in ast.walk(node.exc):
+                    name = None
+                    if isinstance(sub, ast.Name):
+                        name = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    if name == exc_name:
+                        return True
+            if not isinstance(node, ast.Call):
+                continue
+            short = _call_name(node).split(".")[-1]
+            if short in raiser_names:
+                return True
+            callee = sites.get(id(node))
+            if callee is None:
+                return True  # opaque call: benefit of the doubt
+            if raises_flag.get(callee, False):
+                return True
+    return False
+
+
+def _handler_findings(project: Project, index: CallIndex) -> list[Finding]:
+    fault_flag = propagate_flag(
+        index, _direct_flag(project, _FAULT_RAISERS)
+    )
+    deadline_flag = propagate_flag(
+        index, _direct_flag(project, _DEADLINE_RAISERS)
+    )
+    spec = RULES["REPRO-G004"]
+    findings: list[Finding] = []
+    for info in project.functions_sorted():
+        sites = {
+            id(site.node): site.callee
+            for site in index.calls.get(info.qualname, ())
+        }
+        for node in _own_nodes(info):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                kind = _handler_kind(handler.type)
+                if kind is None:
+                    continue
+                if kind == "fault":
+                    flag, raisers, exc = (
+                        fault_flag,
+                        _FAULT_RAISERS,
+                        "FaultInjected",
+                    )
+                else:
+                    flag, raisers, exc = (
+                        deadline_flag,
+                        _DEADLINE_RAISERS,
+                        "DeadlineExceeded",
+                    )
+                if _body_can_raise(node.body, sites, flag, raisers, exc):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=spec.id,
+                        severity=spec.severity_for(info.path),
+                        path=info.path,
+                        line=handler.lineno,
+                        message=(
+                            f"`except {exc}` handler in "
+                            f"`{info.bare_name}()` guards a try body "
+                            "that cannot reach any "
+                            + (
+                                "registered `fault_point` call"
+                                if kind == "fault"
+                                else "deadline check"
+                            )
+                        ),
+                        hint=spec.hint,
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------- REPRO-G005
+
+
+def _is_bounded(test: ast.expr) -> bool:
+    """Same heuristic as REPRO-G001: any comparison is an explicit bound."""
+    return any(isinstance(n, ast.Compare) for n in ast.walk(test))
+
+
+def _ticks_syntactically(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if _call_name(sub).split(".")[-1] in _TICK_NAMES:
+                return True
+    return False
+
+
+def _loop_findings(
+    project: Project, index: CallIndex, flow_entries: tuple[str, ...]
+) -> list[Finding]:
+    entries: set[str] = set()
+    for name in flow_entries:
+        entries.update(project.functions_named(name))
+    if not entries:
+        return []
+    flow_side = reachable(index, entries)
+    tick_flag = propagate_flag(index, _direct_flag(project, _TICK_NAMES))
+    spec = RULES["REPRO-G005"]
+    findings: list[Finding] = []
+    for qual in sorted(flow_side):
+        info = project.functions.get(qual)
+        if info is None:
+            continue
+        sites = {
+            id(site.node): site.callee
+            for site in index.calls.get(qual, ())
+        }
+
+        # while loops in this function, tracking ancestor-loop cover
+        # exactly like REPRO-G001 (an enclosing loop that ticks
+        # re-checks between inner runs)
+        loops: list[tuple[ast.While, bool]] = []
+
+        def visit(node: ast.AST, covered: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_covered = covered
+                if isinstance(child, (ast.While, ast.For)):
+                    child_covered = covered or self_ticks(child)
+                    if isinstance(child, ast.While):
+                        loops.append((child, covered))
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue  # nested defs are separate functions
+                visit(child, child_covered)
+
+        def self_ticks(loop: ast.AST) -> bool:
+            if _ticks_syntactically(loop):
+                return True
+            for sub in ast.walk(loop):
+                if isinstance(sub, ast.Call):
+                    callee = sites.get(id(sub))
+                    if callee is not None and tick_flag.get(callee, False):
+                        return True
+            return False
+
+        visit(info.node, False)
+        for loop, covered in loops:
+            if _is_bounded(loop.test):
+                continue
+            if covered or self_ticks(loop):
+                continue
+            findings.append(
+                Finding(
+                    rule=spec.id,
+                    severity=spec.severity_for(info.path),
+                    path=info.path,
+                    line=loop.lineno,
+                    message=(
+                        f"unbounded `while` loop in `{info.bare_name}()` "
+                        "is reachable from "
+                        f"{'/'.join(sorted(flow_entries))} but never "
+                        "reaches `check_deadline`/`DeadlineTicker.tick`, "
+                        "even through callees"
+                    ),
+                    hint=spec.hint,
+                )
+            )
+    return findings

@@ -1,0 +1,112 @@
+"""The summary fixpoint and the determinism taint findings.
+
+Summaries start at bottom (:data:`EMPTY_SUMMARY`) and are recomputed
+with a caller-directed worklist: whenever a function's summary grows,
+every resolved caller is re-analyzed.  The lattice is finite (labels
+are drawn from the program's source sites and parameter indices) and
+the transfer functions are monotone, so the loop terminates; a
+generous iteration cap guards against resolution pathologies anyway.
+
+At convergence, each function's recorded :class:`~repro.analyze.
+dataflow.summaries.Hit` set is consistent with the final summaries,
+and every hit becomes one ``REPRO-T0xx`` finding anchored at the
+*source* line (where the taint entered), with the sink's location in
+the message — that is where the fix (seeding, sorting) belongs, and
+where a ``# repro: noqa`` suppression is expected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analyze.dataflow.callgraph import CallIndex
+from repro.analyze.dataflow.project import Project
+from repro.analyze.dataflow.ruleset import TAINT_RULES, register_dataflow_rules
+from repro.analyze.dataflow.summaries import (
+    EMPTY_SUMMARY,
+    FunctionAnalysis,
+    FunctionFacts,
+    Hit,
+    Summary,
+)
+from repro.analyze.findings import Finding
+from repro.analyze.rules import RULES
+
+
+def compute_summaries(
+    project: Project, index: CallIndex
+) -> tuple[dict[str, Summary], dict[str, FunctionFacts], int]:
+    """Worklist fixpoint; returns (summaries, facts, analyses run)."""
+    summaries: dict[str, Summary] = {
+        qual: EMPTY_SUMMARY for qual in project.functions
+    }
+    facts: dict[str, FunctionFacts] = {}
+    callers: dict[str, set[str]] = {}
+    for caller, sites in index.calls.items():
+        for site in sites:
+            if site.callee is not None:
+                callers.setdefault(site.callee, set()).add(caller)
+
+    work: deque[str] = deque(sorted(project.functions))
+    queued = set(work)
+    runs = 0
+    cap = max(1, len(project.functions)) * 50  # termination backstop
+    while work and runs < cap:
+        qual = work.popleft()
+        queued.discard(qual)
+        runs += 1
+        info = project.functions[qual]
+        result = FunctionAnalysis(info, project, index, summaries).run()
+        facts[qual] = result
+        if result.summary != summaries[qual]:
+            summaries[qual] = result.summary
+            for caller in sorted(callers.get(qual, ())):
+                if caller not in queued:
+                    work.append(caller)
+                    queued.add(caller)
+    return summaries, facts, runs
+
+
+def taint_findings(facts: dict[str, FunctionFacts]) -> list[Finding]:
+    """One finding per distinct (source, sink) taint flow."""
+    register_dataflow_rules()
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for qual in sorted(facts):
+        for hit in facts[qual].hits.values():
+            findings.extend(_hit_finding(hit, seen))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _hit_finding(hit: Hit, seen: set[tuple]) -> list[Finding]:
+    rule_id = TAINT_RULES[hit.label.kind]
+    key = (
+        rule_id,
+        hit.label.path,
+        hit.label.line,
+        hit.category,
+        hit.path,
+        hit.line,
+    )
+    if key in seen:
+        return []
+    seen.add(key)
+    spec = RULES[rule_id]
+    where = f"{hit.path}:{hit.line}"
+    if hit.path == hit.label.path:
+        where = f"line {hit.line}"
+    message = (
+        f"{hit.label.detail} flows into {hit.category} sink "
+        f"{hit.sink} ({where}, via `{hit.func.rsplit('.', 1)[-1]}()`)"
+    )
+    return [
+        Finding(
+            rule=rule_id,
+            severity=spec.severity_for(hit.label.path),
+            path=hit.label.path,
+            line=hit.label.line,
+            message=message,
+            hint=spec.hint,
+        )
+    ]

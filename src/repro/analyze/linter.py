@@ -15,7 +15,9 @@ whatever ``repro.obs`` metrics registry is active.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,6 +53,11 @@ class LintResult:
     #: files that failed to parse, as (path, message) — reported as
     #: PARSE-ERROR findings too, so they can never pass silently
     parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: path -> {(line, rule)} suppressions that absorbed a finding;
+    #: feeds the REPRO-U001 unused-suppression meta-rule
+    used_suppressions: dict[str, set[tuple[int, str]]] = field(
+        default_factory=dict
+    )
 
     @property
     def errors(self) -> int:
@@ -95,8 +102,15 @@ def lint_source(
     source: str,
     path: str,
     config: LintConfig | None = None,
+    *,
+    used: set[tuple[int, str]] | None = None,
 ) -> tuple[list[Finding], int]:
-    """Lint one module's source; returns (findings, suppressed count)."""
+    """Lint one module's source; returns (findings, suppressed count).
+
+    When ``used`` is given, every suppression that actually absorbed a
+    finding is recorded into it as ``(line, rule_id)`` — the raw
+    material of the REPRO-U001 unused-suppression meta-rule.
+    """
     config = config or LintConfig()
     posix = Path(path).as_posix()
     try:
@@ -117,13 +131,21 @@ def lint_source(
     suppressed = 0
     for rule_id in config.active_rules():
         spec = RULES[rule_id]
+        checker = CHECKERS.get(rule_id)
+        if checker is None:
+            # Whole-project rules (dataflow, REPRO-U001) are registered
+            # in RULES for the report's rule table but have no per-file
+            # checker; their engines emit findings directly.
+            continue
         if not spec.applies_to(posix):
             continue
         severity = spec.severity_for(posix)
-        for raw, message in CHECKERS[rule_id](ctx):
+        for raw, message in checker(ctx):
             line, col = _to_location(raw)
             if line in noqa and (noqa[line] is None or rule_id in noqa[line]):
                 suppressed += 1
+                if used is not None:
+                    used.add((line, rule_id))
                 continue
             findings.append(
                 Finding(
@@ -150,6 +172,125 @@ def iter_python_files(paths: list[str | Path]) -> list[Path]:
         elif p.suffix == ".py":
             seen.add(p)
     return sorted(seen)
+
+
+_RULE_ID_RE = re.compile(r"[A-Z]+-[A-Z]\d+")
+
+_TRIVIA_TOKENS = frozenset(
+    (
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    )
+)
+
+
+def _noqa_comments(source: str) -> list[tuple[int, str | None]]:
+    """(line, spec) for every real ``# repro: noqa`` *suppression*.
+
+    Token-based on purpose: noqa text inside a docstring is a STRING
+    token and a noqa in a comment-only line (``#: `# repro: noqa` ...``
+    documentation) has no code on its line — neither suppresses
+    anything, so neither is a candidate for staleness.  ``spec`` is
+    ``None`` for a bare ``# repro: noqa``, else the raw ID list text.
+    """
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    code_lines: set[int] = set()
+    for tok in tokens:
+        if tok.type not in _TRIVIA_TOKENS:
+            code_lines.update(range(tok.start[0], tok.end[0] + 1))
+    out: list[tuple[int, str | None]] = []
+    for tok in tokens:
+        if tok.type is not tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        if tok.start[0] not in code_lines:
+            continue
+        out.append((tok.start[0], match.group(1)))
+    return out
+
+
+def unused_suppression_findings(
+    sources: dict[str, str],
+    used: dict[str, set[tuple[int, str]]],
+) -> list[Finding]:
+    """REPRO-U001: suppressions that no longer suppress anything.
+
+    ``sources`` maps report path -> file source; ``used`` is the merged
+    usage map from every pass that honors noqa (linter + dataflow).
+    One finding per stale comment, listing every stale/unknown ID.
+    """
+    # U001 is registered by the dataflow ruleset (it is a whole-run
+    # meta-rule, not a per-file checker); lazy import keeps the
+    # linter importable without the dataflow package initialized.
+    from repro.analyze.dataflow.ruleset import register_dataflow_rules
+
+    register_dataflow_rules()
+    spec = RULES["REPRO-U001"]
+    findings: list[Finding] = []
+    for path in sorted(sources):
+        used_here = used.get(path, set())
+        used_lines = {line for line, _ in used_here}
+        for line, raw_spec in _noqa_comments(sources[path]):
+            if raw_spec is None:
+                if line not in used_lines:
+                    findings.append(
+                        Finding(
+                            rule=spec.id,
+                            severity=spec.severity_for(path),
+                            path=path,
+                            line=line,
+                            message=(
+                                "bare `# repro: noqa` suppresses nothing "
+                                "on this line"
+                            ),
+                            hint=spec.hint,
+                        )
+                    )
+                continue
+            ids = _RULE_ID_RE.findall(raw_spec)
+            unknown = sorted(i for i in ids if i not in RULES)
+            stale = sorted(
+                i
+                for i in ids
+                if i in RULES and (line, i) not in used_here
+            )
+            problems: list[str] = []
+            if not ids:
+                problems.append("no valid rule IDs in the suppression list")
+            if unknown:
+                problems.append(
+                    "unknown rule ID(s) " + ", ".join(unknown)
+                )
+            if stale:
+                problems.append(
+                    ", ".join(stale)
+                    + (" no longer fires" if len(stale) == 1 else " no longer fire")
+                    + " on this line"
+                )
+            if problems:
+                findings.append(
+                    Finding(
+                        rule=spec.id,
+                        severity=spec.severity_for(path),
+                        path=path,
+                        line=line,
+                        message="; ".join(problems),
+                        hint=spec.hint,
+                    )
+                )
+    findings.sort(key=Finding.sort_key)
+    return findings
 
 
 def lint_paths(
@@ -181,9 +322,11 @@ def lint_paths(
             except OSError as exc:
                 result.parse_errors.append((str(report_path), str(exc)))
                 continue
-            findings, suppressed = lint_source(
-                source, Path(report_path).as_posix(), config
-            )
+            posix = Path(report_path).as_posix()
+            used: set[tuple[int, str]] = set()
+            findings, suppressed = lint_source(source, posix, config, used=used)
+            if used:
+                result.used_suppressions.setdefault(posix, set()).update(used)
             for finding in findings:
                 if finding.rule == "PARSE-ERROR":
                     result.parse_errors.append(

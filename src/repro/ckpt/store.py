@@ -154,7 +154,7 @@ class CheckpointStore:
             )
         try:
             state = pickle.loads(payload)
-        except Exception as exc:  # repro: noqa:REPRO-G002 — any unpickle death means a corrupt payload, reported upward
+        except Exception as exc:
             raise CheckpointError(f"{path.name}: unpicklable payload: {exc}") from exc
         get_metrics().count("ckpt.loads")
         return header.get("meta", {}), state
@@ -179,7 +179,7 @@ class CheckpointStore:
                 meta, state = self.load(path)
             except DeadlineExceeded:
                 raise
-            except Exception as exc:  # repro: noqa:REPRO-G002 — any load death (corruption, I/O, injected ckpt.load fault) skips to the next-older checkpoint
+            except Exception as exc:
                 metrics.count("ckpt.load_failures")
                 reports.append(
                     FailureReport(

@@ -16,6 +16,10 @@ Subcommands:
   the flow invariants (demand accounting, route connectivity, guide
   coverage, placement legality); ``python -m repro.analyze src/`` is
   the companion source-code linter.
+* ``crp analyze [--json PATH] [--no-dataflow] [-b DESIGN]`` — run the
+  whole static-analysis stack (AST linter + interprocedural dataflow)
+  in one shot, optionally followed by the flow-invariant audit of a
+  routed benchmark; one combined exit code.
 """
 
 from __future__ import annotations
@@ -117,6 +121,32 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON (SARIF-lite) report to this path",
     )
 
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="run every analyzer: lint + interprocedural dataflow "
+        "(+ flow invariants with -b)",
+    )
+    p_analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p_analyze.add_argument(
+        "--no-dataflow", action="store_true",
+        help="skip the interprocedural dataflow passes",
+    )
+    p_analyze.add_argument(
+        "-b", "--bench", default=None, metavar="DESIGN",
+        help="also route this benchmark and audit the flow invariants",
+    )
+    p_analyze.add_argument(
+        "--crp", type=int, default=0, metavar="K",
+        help="with -b: run K CR&P iterations before auditing",
+    )
+    p_analyze.add_argument(
+        "--json", metavar="PATH",
+        help="write the combined JSON (SARIF-lite) report to this path",
+    )
+
     p_show = sub.add_parser("show", help="ASCII congestion map + SVG plot")
     p_show.add_argument("-b", "--bench", required=True)
     p_show.add_argument("--svg", help="write an SVG die plot to this path")
@@ -138,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_dump(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "show":
         return _cmd_show(args)
     return 2
@@ -330,6 +362,59 @@ def _cmd_check(args: argparse.Namespace) -> int:
         path = write_report(args.json, document)
         print(f"wrote report to {path}")
     return 1 if findings else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analyze import (
+        analysis_report,
+        check_flow_state,
+        render_findings,
+        run_source_analysis,
+        write_report,
+    )
+
+    analysis = run_source_analysis(
+        list(args.paths), dataflow=not args.no_dataflow
+    )
+    print(
+        render_findings(analysis.findings, suppressed=analysis.suppressed)
+    )
+    print(f"scanned {analysis.files_scanned} file(s)")
+    for path, message in analysis.parse_errors:
+        print(f"  parse error: {path}: {message}", file=sys.stderr)
+
+    flow_findings = []
+    if args.bench is not None:
+        from repro.benchgen import make_design
+        from repro.core import CrpConfig, CrpFramework
+        from repro.groute import GlobalRouter
+        from repro.obs import ensure_observation
+
+        design = make_design(args.bench)
+        with ensure_observation():
+            router = GlobalRouter(design)
+            router.route_all()
+            if args.crp > 0:
+                CrpFramework(design, router, CrpConfig(seed=0)).run(args.crp)
+            flow_findings = check_flow_state(design, router)
+        print()
+        print(f"== flow invariants: {args.bench} ==")
+        print(render_findings(flow_findings))
+
+    if args.json:
+        document = analysis_report(analysis)
+        if args.bench is not None:
+            from repro.analyze import FLOW_RULES, finding_to_dict
+
+            document["flow"] = {
+                "design": args.bench,
+                "crp_iterations": args.crp,
+                "rules": FLOW_RULES,
+                "findings": [finding_to_dict(f) for f in flow_findings],
+            }
+        path = write_report(args.json, document)
+        print(f"wrote report to {path}")
+    return 0 if analysis.ok and not flow_findings else 1
 
 
 def _cmd_show(args: argparse.Namespace) -> int:

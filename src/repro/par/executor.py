@@ -530,7 +530,7 @@ class ParallelExecutor:
                 fault_point("par.worker")
             except DeadlineExceeded:
                 raise
-            except Exception:  # repro: noqa:REPRO-G002 — injected dispatch fault; the chunk reruns in-process
+            except Exception:
                 metrics.count("par.worker_failures")
                 continue
             worker = live[chunk_index % len(live)]
@@ -583,6 +583,17 @@ class ParallelExecutor:
             try:
                 msg = self._result_queue.get(timeout=self.poll_s)
             except queue_mod.Empty:
+                try:
+                    check_deadline("par.collect")
+                except DeadlineExceeded:
+                    # The flow budget ran out while workers stalled:
+                    # without this check the poll loop can outlive the
+                    # deadline by the full hang timeout.  Abandon the
+                    # pool; the caller's serial fallback is
+                    # deadline-checked and aborts cleanly.
+                    self._kill_pool()
+                    deadline_hit = True
+                    break
                 stalled_s += self.poll_s
                 if stalled_s >= 600.0:
                     # Healing exhausted: even respawned workers are not

@@ -864,3 +864,210 @@ class TestInvariants:
         y = model.add_binary("y", cost=2.0)
         model.add_exactly_one([x, y])
         assert check_model(model) == []
+
+
+# ------------------------------------------- suppression edge cases
+
+
+class TestSuppressionEdgeCases:
+    def test_multi_rule_comma_list_with_spaces(self):
+        noqa = suppressions(
+            "x = 1  # repro: noqa: REPRO-D003 , REPRO-C002\n"
+        )
+        assert noqa[1] == frozenset({"REPRO-D003", "REPRO-C002"})
+
+    def test_trailing_justification_after_dash(self):
+        noqa = suppressions(
+            "x = 1  # repro: noqa:REPRO-G002 — any unpickle death is corrupt\n"
+        )
+        assert noqa[1] == frozenset({"REPRO-G002"})
+
+    def test_noqa_on_continuation_line_maps_to_that_line(self):
+        source = (
+            "value = compute(\n"
+            "    arg,  # repro: noqa:REPRO-D003\n"
+            ")\n"
+        )
+        noqa = suppressions(source)
+        assert list(noqa) == [2]
+        # ...so it does NOT suppress a finding anchored on line 1
+        code = (
+            "start = (displacement\n"
+            "    == 0.0)  # repro: noqa:REPRO-D003\n"
+        )
+        findings, suppressed = lint_source(code, "src/repro/mod.py")
+        assert {f.rule for f in findings} == {"REPRO-D003"}
+        assert suppressed == 0
+
+    def test_lowercase_and_malformed_ids_are_ignored(self):
+        noqa = suppressions("x = 1  # repro: noqa:repro-d003, bogus\n")
+        assert noqa[1] == frozenset()
+
+
+class TestFileWalkDeterminism:
+    def test_iter_python_files_sorted_and_deduplicated(self, tmp_path):
+        from repro.analyze import iter_python_files
+
+        pkg = tmp_path / "pkg"
+        sub = pkg / "sub"
+        sub.mkdir(parents=True)
+        b = pkg / "b.py"
+        a = pkg / "a.py"
+        c = sub / "c.py"
+        for f in (b, a, c):
+            f.write_text("x = 1\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        listed = iter_python_files([pkg, a, tmp_path / "pkg"])
+        assert listed == sorted({a, b, c})
+        # stable under permutation of the input paths
+        assert iter_python_files([a, pkg]) == listed
+
+
+# --------------------------------------- REPRO-U001 (stale noqa)
+
+
+class TestUnusedSuppressions:
+    def _analyze(self, tmp_path, source):
+        from repro.analyze import run_source_analysis
+
+        mod = tmp_path / "mod.py"
+        mod.write_text(textwrap.dedent(source))
+        return run_source_analysis(
+            [mod], dataflow=False, relative_to=tmp_path
+        )
+
+    def test_live_suppression_is_quiet(self, tmp_path):
+        analysis = self._analyze(
+            tmp_path,
+            "start = displacement == 0.0  # repro: noqa:REPRO-D003\n",
+        )
+        assert "REPRO-U001" not in {f.rule for f in analysis.findings}
+        assert analysis.suppressed == 1
+
+    def test_stale_suppression_fires(self, tmp_path):
+        analysis = self._analyze(
+            tmp_path,
+            "x = 1  # repro: noqa:REPRO-D003\n",
+        )
+        fired = [
+            f for f in analysis.findings if f.rule == "REPRO-U001"
+        ]
+        assert len(fired) == 1
+        assert "REPRO-D003" in fired[0].message
+
+    def test_unknown_rule_id_fires(self, tmp_path):
+        analysis = self._analyze(
+            tmp_path,
+            "x = 1  # repro: noqa:REPRO-Z999\n",
+        )
+        fired = [
+            f for f in analysis.findings if f.rule == "REPRO-U001"
+        ]
+        assert len(fired) == 1
+        assert "unknown rule ID" in fired[0].message
+
+    def test_bare_noqa_suppressing_nothing_fires(self, tmp_path):
+        analysis = self._analyze(tmp_path, "x = 1  # repro: noqa\n")
+        fired = [
+            f for f in analysis.findings if f.rule == "REPRO-U001"
+        ]
+        assert len(fired) == 1
+        assert "bare" in fired[0].message
+
+    def test_docstring_noqa_text_is_not_flagged(self, tmp_path):
+        analysis = self._analyze(
+            tmp_path,
+            '''
+            def helper():
+                """Suppress with `# repro: noqa:REPRO-D003` inline."""
+                return 1
+            ''',
+        )
+        assert "REPRO-U001" not in {f.rule for f in analysis.findings}
+
+
+# ----------------------------------------------- baseline lifecycle
+
+
+class TestBaseline:
+    def _project(self, tmp_path, dirty=False):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir(exist_ok=True)
+        body = "import time\nstart = time.time()\n" if dirty else "x = 1\n"
+        (pkg / "mod.py").write_text(body)
+        return pkg
+
+    def test_update_baseline_is_byte_stable(self, tmp_path):
+        from repro.analyze import update_baseline
+
+        pkg = self._project(tmp_path, dirty=True)
+        baseline = tmp_path / "ANALYZE_baseline.json"
+        update_baseline(baseline, [pkg], relative_to=tmp_path)
+        first = baseline.read_bytes()
+        update_baseline(baseline, [pkg], relative_to=tmp_path)
+        assert baseline.read_bytes() == first
+        assert first.endswith(b"\n")
+
+    def test_check_baseline_passes_after_update(self, tmp_path):
+        from repro.analyze import check_baseline, update_baseline
+
+        pkg = self._project(tmp_path, dirty=True)
+        baseline = tmp_path / "ANALYZE_baseline.json"
+        update_baseline(baseline, [pkg], relative_to=tmp_path)
+        ok, lines = check_baseline(baseline, [pkg], relative_to=tmp_path)
+        assert ok and lines == []
+
+    def test_check_baseline_flags_new_findings(self, tmp_path):
+        from repro.analyze import check_baseline, update_baseline
+
+        pkg = self._project(tmp_path)
+        baseline = tmp_path / "ANALYZE_baseline.json"
+        update_baseline(baseline, [pkg], relative_to=tmp_path)
+        (pkg / "mod.py").write_text("import time\nstart = time.time()\n")
+        ok, lines = check_baseline(baseline, [pkg], relative_to=tmp_path)
+        assert not ok
+        assert any(line.startswith("NEW") for line in lines)
+
+    def test_check_baseline_flags_stale_entries(self, tmp_path):
+        from repro.analyze import check_baseline, update_baseline
+
+        pkg = self._project(tmp_path, dirty=True)
+        baseline = tmp_path / "ANALYZE_baseline.json"
+        update_baseline(baseline, [pkg], relative_to=tmp_path)
+        (pkg / "mod.py").write_text("x = 1\n")  # the finding is fixed
+        ok, lines = check_baseline(baseline, [pkg], relative_to=tmp_path)
+        assert not ok
+        assert any(line.startswith("GONE") for line in lines)
+
+    def test_check_baseline_missing_file_fails(self, tmp_path):
+        from repro.analyze import check_baseline
+
+        pkg = self._project(tmp_path)
+        ok, lines = check_baseline(
+            tmp_path / "nope.json", [pkg], relative_to=tmp_path
+        )
+        assert not ok
+        assert "unreadable" in lines[0]
+
+    def test_main_update_and_check_roundtrip(self, tmp_path):
+        pkg = self._project(tmp_path, dirty=True)
+        baseline = tmp_path / "ANALYZE_baseline.json"
+        assert analyze_main(
+            [str(pkg), "--baseline", str(baseline), "--update-baseline",
+             "--relative-to", str(tmp_path)]
+        ) == 0
+        assert analyze_main(
+            [str(pkg), "--baseline", str(baseline), "--check-baseline",
+             "--relative-to", str(tmp_path)]
+        ) == 0
+        (pkg / "mod.py").write_text("x = displacement == 0.0\n")
+        assert analyze_main(
+            [str(pkg), "--baseline", str(baseline), "--check-baseline",
+             "--relative-to", str(tmp_path)]
+        ) == 1
+
+    def test_repo_baseline_matches_committed(self):
+        from repro.analyze import check_baseline
+
+        ok, lines = check_baseline("ANALYZE_baseline.json", ["src"])
+        assert ok, "\n".join(lines)

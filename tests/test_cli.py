@@ -70,3 +70,39 @@ def test_check_clean_flow(tmp_path, capsys):
 def test_check_skip_routing(capsys):
     assert main(["check", "-b", "ispd18_test1", "--skip-routing"]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_analyze_clean_file(tmp_path, capsys):
+    mod = tmp_path / "mod.py"
+    mod.write_text("x = 1\n")
+    report = tmp_path / "analysis.json"
+    assert main(["analyze", str(mod), "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert report.exists()
+
+
+def test_analyze_finding_fails(tmp_path, capsys, monkeypatch):
+    # chdir so the report path relativizes to `mod.py` — the absolute
+    # pytest tmp dir contains `/test_`, which several rules exclude
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text("x = displacement == 0.0\n")
+    assert main(["analyze", "mod.py"]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO-D003" in out
+
+
+def test_analyze_with_flow_invariants(tmp_path, capsys):
+    mod = tmp_path / "mod.py"
+    mod.write_text("x = 1\n")
+    report = tmp_path / "analysis.json"
+    assert main(
+        ["analyze", str(mod), "-b", "ispd18_test1", "--json", str(report)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "flow invariants: ispd18_test1" in out
+    import json
+
+    document = json.loads(report.read_text())
+    assert document["flow"]["design"] == "ispd18_test1"
+    assert document["flow"]["findings"] == []
