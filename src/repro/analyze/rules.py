@@ -642,14 +642,34 @@ def _check_shadowed_builtins(ctx: ModuleContext):
 # ---------------------------------------------------- REPRO-P: performance
 
 
+#: tuple-node type names whose dict/set containers mark an oracle-style
+#: sparse node map in detailed routing (vs the flat DrouteIndex arrays)
+_NODE_KEY_NAMES = frozenset(("LNode", "Node"))
+
+
+def _node_keyed_container(annotation: ast.expr) -> bool:
+    """True for ``dict[LNode, ...]`` / ``set[LNode]`` style annotations."""
+    if not isinstance(annotation, ast.Subscript):
+        return False
+    base = annotation.value
+    if not (isinstance(base, ast.Name) and base.id in ("dict", "set")):
+        return False
+    key = annotation.slice
+    if isinstance(key, ast.Tuple) and key.elts:
+        key = key.elts[0]
+    return isinstance(key, ast.Name) and key.id in _NODE_KEY_NAMES
+
+
 @rule(
     "REPRO-P001",
     Severity.WARNING,
-    "per-edge `edge_cost` call inside a routing hot loop",
+    "sparse per-element pricing/state inside a routing hot path",
     "price through the dense `repro.grid.field.CostField` maps "
     "(`wire_cost_maps()`, `run_cost()`, `path_cost()`) instead of scalar "
-    "`edge_cost` calls per edge; keep the scalar oracle only as an "
-    "explicit fallback",
+    "`edge_cost` calls per edge, and key detailed-routing search state "
+    "by flat `repro.droute.indexed.DrouteIndex` node ids instead of "
+    "dict-of-tuple node maps; keep the scalar/dict oracles only as "
+    "explicit fallbacks",
     path_scope=("/groute/", "/droute/"),
 )
 def _check_scalar_cost_loops(ctx: ModuleContext):
@@ -676,6 +696,19 @@ def _check_scalar_cost_loops(ctx: ModuleContext):
                     "scalar `edge_cost` call inside a loop — use the "
                     "CostField dense maps"
                 )
+    # Detailed routing only: a dict/set keyed by tuple nodes is the
+    # oracle representation; hot-path state belongs in the flat indexed
+    # arrays (``nid = (layer * ny + iy) * nx + ix``).
+    if "/droute/" not in ctx.path.replace("\\", "/"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.AnnAssign) and _node_keyed_container(
+            node.annotation
+        ):
+            yield node, (
+                "dict-of-tuple node map in detailed routing — key search "
+                "state by DrouteIndex flat node ids"
+            )
 
 
 # ---------------------------------------------- REPRO-X: cross-process safety

@@ -63,8 +63,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_run.add_argument(
         "--workers", type=int, metavar="N",
-        help="parallel routing/estimation workers (1 = batched serial; "
-        "default: CRP_WORKERS env or classic serial)",
+        help="parallel workers for global/detailed routing + estimation "
+        "(1 = batched serial; default: CRP_WORKERS env or classic serial)",
     )
     p_run.add_argument(
         "--checkpoint-dir", metavar="DIR",

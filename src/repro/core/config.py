@@ -42,11 +42,12 @@ class CrpConfig:
     ilp_budget_s: float | None = None
     #: cap on critical cells per iteration (keeps runtime bounded)
     max_critical_cells: int = 200
-    #: parallel workers for routing + candidate estimation.  ``None``
-    #: keeps the classic serial walk; ``1`` runs the batched parallel
-    #: pipeline in-process (the parity baseline); ``N > 1`` adds a
-    #: process pool.  Defaults from the ``CRP_WORKERS`` env var so CI
-    #: can exercise the parallel path without touching call sites.
+    #: parallel workers for global routing, candidate estimation, and
+    #: the detailed-routing first pass.  ``None`` keeps the classic
+    #: serial walk; ``1`` runs the batched parallel pipeline in-process
+    #: (the parity baseline); ``N > 1`` adds a process pool.  Defaults
+    #: from the ``CRP_WORKERS`` env var so CI can exercise the parallel
+    #: path without touching call sites.
     workers: int | None = None
     #: directory for ``repro.ckpt`` stage/iteration checkpoints.  ``None``
     #: disables checkpointing; excluded from the checkpoint fingerprint

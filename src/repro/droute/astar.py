@@ -47,6 +47,35 @@ class SearchResult:
     conflicts: list[LNode]
 
 
+class SearchStats:
+    """Local accumulator for per-search counters.
+
+    The router hands one of these to every search of a ``route_all``
+    and flushes it once at the end (``count`` + ``observe_many``), so
+    the metrics registry is hit twice per routing pass instead of once
+    per A* invocation.
+    """
+
+    __slots__ = ("calls", "expansions")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.expansions: list[int] = []
+
+    def record(self, expansions: int) -> None:
+        self.calls += 1
+        self.expansions.append(expansions)
+
+    def flush(self) -> None:
+        if not self.calls:
+            return
+        metrics = get_metrics()
+        metrics.count("droute.astar_calls", self.calls)
+        metrics.observe_many("droute.astar_expansions", self.expansions)
+        self.calls = 0
+        self.expansions = []
+
+
 def astar_connect(
     lattice: TrackLattice,
     sources: set[LNode],
@@ -58,6 +87,7 @@ def astar_connect(
     guide_nodes: set[LNode] | None,
     params: SearchParams,
     soft: bool,
+    stats: SearchStats | None = None,
 ) -> SearchResult | None:
     """Cheapest lattice path from ``sources`` to ``targets``.
 
@@ -107,10 +137,16 @@ def astar_connect(
         return h_weight * (pitch * (dx + dy) + via_cost * dl)
 
     tie = 0
-    g_score: dict[LNode, float] = {}
-    came_from: dict[LNode, LNode] = {}
+    # repro: noqa:REPRO-P001 x2 below -- this IS the dict oracle the
+    # indexed kernel is parity-tested against; it must stay sparse.
+    g_score: dict[LNode, float] = {}  # repro: noqa:REPRO-P001
+    came_from: dict[LNode, LNode] = {}  # repro: noqa:REPRO-P001
     heap: list[tuple[float, int, float, LNode]] = []
-    for s in sources:
+    # Seed order is the caller's set iteration order -- deterministic
+    # cross-machine (int-tuple hashing ignores PYTHONHASHSEED) and
+    # shared byte-for-byte with the indexed kernel; sorting here would
+    # change tie order and break parity with the committed digests.
+    for s in sources:  # repro: noqa:REPRO-T002
         g_score[s] = 0.0
         heap.append((heuristic(*s), tie, 0.0, s))
         tie += 1
@@ -190,9 +226,12 @@ def astar_connect(
                     tie += 1
         return None
     finally:
-        metrics = get_metrics()
-        metrics.count("droute.astar_calls")
-        metrics.observe("droute.astar_expansions", expansions)
+        if stats is not None:
+            stats.record(expansions)
+        else:
+            metrics = get_metrics()
+            metrics.count("droute.astar_calls")
+            metrics.observe("droute.astar_expansions", expansions)
 
 
 def _build_result(

@@ -3,20 +3,39 @@
 Consumes a design plus per-net route guides (from the global router) and
 produces exact routed geometry on the track lattice with the ISPD-2018
 quality numbers: wirelength, via count, and DRVs.
+
+Two interchangeable state backends carry the per-node routing state:
+
+* the **indexed** backend (default) — flat arrays addressed by node id,
+  see :mod:`repro.droute.indexed`;
+* the **dict oracle** (``use_indexed=False``) — the original
+  dict-of-tuple maps, kept live for bit-exact parity testing, the same
+  discipline the grid cost field uses for its scalar oracle.
+
+Per-net work is split into a pure *compute* step (terminal access, guide
+region, pattern/A* searches, min-area patching — no committed-state
+mutation) and a serial *commit* step, so the first pass can run compute
+in `repro.par` workers and commit in canonical net order, byte-identical
+to the serial walk.
 """
 
 from __future__ import annotations
 
 import time
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 from repro.db import Design, Net
 from repro.droute.access import access_nodes
-from repro.droute.astar import SearchParams, astar_connect
+from repro.droute.astar import SearchParams, SearchStats, astar_connect
 from repro.droute.drc import DrcKind, DrcViolation, check_min_area, check_shorts
+from repro.droute.indexed import astar_connect_indexed
 from repro.droute.lattice import LNode, TrackLattice
-from repro.droute.obstacles import BLOCKED, build_obstacle_map
+from repro.droute.obstacles import (
+    BLOCKED,
+    build_obstacle_index,
+    build_obstacle_map,
+)
 from repro.guard.deadline import check_deadline
 from repro.lefdef.guides import GuideRect
 from repro.obs import get_metrics, get_tracer
@@ -49,6 +68,261 @@ class DetailedResult:
         )
 
 
+@dataclass(slots=True)
+class NetComputation:
+    """The pure compute half of routing one net (picklable).
+
+    Produced by :meth:`DetailedRouter._net_compute` against committed
+    state, applied by :meth:`DetailedRouter._commit_net`; workers ship
+    these back to the parent, which owns every commit.
+    """
+
+    name: str
+    paths: list[list[LNode]]
+    #: every node the net occupies (sorted; includes patch growth)
+    used: list[LNode]
+    pins: list[LNode]
+    patch_count: int
+    #: anchor node of each unreachable terminal (one OPEN DRV each)
+    opens: list[LNode]
+    #: path nodes held by another net at search time (soft-pass shorts)
+    conflict_nodes: list[LNode]
+
+
+def _guide_spans(
+    lattice: TrackLattice,
+    margin: int,
+    net_guides: list[GuideRect] | None,
+    terminal_access: list[list[LNode]],
+):
+    """Per-layer guide spans + search bounds for one net (pure math).
+
+    Shared by both backends so their bounds — and therefore their
+    searches — are identical; only the membership *representation*
+    (tuple set vs stamped array rows) differs.
+    """
+    all_nodes = [n for nodes in terminal_access for n in nodes]
+    ix_vals = [n[1] for n in all_nodes]
+    iy_vals = [n[2] for n in all_nodes]
+
+    if net_guides is None:
+        slack = 12
+        bounds = (
+            max(0, min(ix_vals) - slack),
+            max(0, min(iy_vals) - slack),
+            min(lattice.nx - 1, max(ix_vals) + slack),
+            min(lattice.ny - 1, max(iy_vals) + slack),
+        )
+        return None, bounds
+
+    per_layer: dict[int, list[tuple[int, int, int, int]]] = defaultdict(list)
+    g_ix0, g_iy0 = lattice.nx - 1, lattice.ny - 1
+    g_ix1, g_iy1 = 0, 0
+    for guide in net_guides:
+        ix0, iy0, ix1, iy1 = lattice.index_rect(guide.rect)
+        ix0 = max(0, ix0 - margin)
+        iy0 = max(0, iy0 - margin)
+        ix1 = min(lattice.nx - 1, ix1 + margin)
+        iy1 = min(lattice.ny - 1, iy1 + margin)
+        per_layer[guide.layer].append((ix0, iy0, ix1, iy1))
+        g_ix0 = min(g_ix0, ix0)
+        g_iy0 = min(g_iy0, iy0)
+        g_ix1 = max(g_ix1, ix1)
+        g_iy1 = max(g_iy1, iy1)
+    g_ix0 = min(g_ix0, max(0, min(ix_vals) - margin))
+    g_iy0 = min(g_iy0, max(0, min(iy_vals) - margin))
+    g_ix1 = max(g_ix1, min(lattice.nx - 1, max(ix_vals) + margin))
+    g_iy1 = max(g_iy1, min(lattice.ny - 1, max(iy_vals) + margin))
+    return per_layer, (g_ix0, g_iy0, g_ix1, g_iy1)
+
+
+class _DictState:
+    """Dict-of-tuples oracle backend (``use_indexed=False``).
+
+    Kept verbatim from the pre-indexed router for parity testing; the
+    hot-path lint (REPRO-P001) is suppressed here by design.
+    """
+
+    indexed = False
+
+    def __init__(self, router: "DetailedRouter") -> None:
+        self.lattice = router.lattice
+        self.params = router.params
+        self.margin = router.guide_margin
+        owner, reservations = build_obstacle_map(router.design, router.lattice)
+        self.owner = owner
+        self.reservations = reservations
+        # Authoritative session occupancy; the indexed kernel keeps
+        # its own dense mirror.
+        self.occupancy: dict[LNode, str] = {}  # repro: noqa:REPRO-P001
+
+    def guide_region(self, net_guides, terminal_access):
+        per_layer, bounds = _guide_spans(
+            self.lattice, self.margin, net_guides, terminal_access
+        )
+        if per_layer is None:
+            return None, bounds
+        guide_nodes: set[LNode] = set()  # repro: noqa:REPRO-P001 — oracle backend keeps the historical set-of-tuples representation
+        for layer, spans in per_layer.items():
+            for ix0, iy0, ix1, iy1 in spans:
+                for ix in range(ix0, ix1 + 1):
+                    for iy in range(iy0, iy1 + 1):
+                        guide_nodes.add((layer, ix, iy))
+        # Terminals and their escape landings are always fair game.
+        for nodes in terminal_access:
+            for layer, ix, iy in nodes:
+                guide_nodes.add((layer, ix, iy))
+                if layer + 1 < self.lattice.tech.num_layers:
+                    guide_nodes.add((layer + 1, ix, iy))
+        return guide_nodes, bounds
+
+    def connect(self, sources, targets, net_name, bounds, guide, soft, stats):
+        return astar_connect(
+            self.lattice,
+            sources,
+            targets,
+            net_name,
+            self.owner,
+            self.occupancy,
+            bounds,
+            guide,
+            self.params,
+            soft=soft,
+            stats=stats,
+        )
+
+    def in_guide(self, guide, node: LNode) -> bool:
+        return guide is None or node in guide
+
+    def free_for(self, node: LNode, net_name: str) -> bool:
+        holder = self.owner.get(node)
+        if holder is not None and holder != net_name:
+            return False
+        holder = self.occupancy.get(node)
+        if holder is not None and holder != net_name:
+            return False
+        return True
+
+    def patch_free(self, node: LNode, net_name: str) -> bool:
+        holder = self.owner.get(node) or self.occupancy.get(node)
+        return holder is None or holder == net_name
+
+    def holder_name(self, node: LNode) -> str | None:
+        return self.owner.get(node) or self.occupancy.get(node)
+
+    def commit_used(self, net_name: str, used_sorted) -> None:
+        occupancy = self.occupancy
+        for node in used_sorted:
+            occupancy.setdefault(node, net_name)
+
+    def release_reservations(self, net_name: str, used: set[LNode]) -> None:
+        owner = self.owner
+        for node in self.reservations.pop(net_name, ()):
+            if node not in used and owner.get(node) == net_name:
+                del owner[node]
+
+    def rip(self, net_name: str, nodes) -> None:
+        occupancy = self.occupancy
+        for node in nodes:
+            if occupancy.get(node) == net_name:
+                del occupancy[node]
+
+
+class _IndexedState:
+    """Flat-array backend over :class:`~repro.droute.indexed.DrouteIndex`."""
+
+    indexed = True
+
+    def __init__(self, router: "DetailedRouter") -> None:
+        self.lattice = router.lattice
+        self.params = router.params
+        self.margin = router.guide_margin
+        self.index, self.reservations = build_obstacle_index(
+            router.design, router.lattice
+        )
+
+    def guide_region(self, net_guides, terminal_access):
+        per_layer, bounds = _guide_spans(
+            self.lattice, self.margin, net_guides, terminal_access
+        )
+        if per_layer is None:
+            return None, bounds
+        return self.index.stamp_guides(per_layer, terminal_access), bounds
+
+    def connect(self, sources, targets, net_name, bounds, guide, soft, stats):
+        index = self.index
+        return astar_connect_indexed(
+            index,
+            sources,
+            targets,
+            net_name,
+            index.intern(net_name),
+            bounds,
+            guide,
+            self.params,
+            soft=soft,
+            stats=stats,
+        )
+
+    def in_guide(self, guide, node: LNode) -> bool:
+        if guide is None:
+            return True
+        index = self.index
+        return index.guide_epoch[index.nid_of(node)] == guide
+
+    def free_for(self, node: LNode, net_name: str) -> bool:
+        index = self.index
+        nid = index.nid_of(node)
+        net_id = index.intern(net_name)
+        holder = index.owner[nid]
+        if holder != 0 and holder != net_id:
+            return False
+        holder = index.occupancy[nid]
+        if holder != 0 and holder != net_id:
+            return False
+        return True
+
+    def patch_free(self, node: LNode, net_name: str) -> bool:
+        index = self.index
+        nid = index.nid_of(node)
+        holder = index.owner[nid] or index.occupancy[nid]
+        return holder == 0 or holder == index.intern(net_name)
+
+    def holder_name(self, node: LNode) -> str | None:
+        index = self.index
+        nid = index.nid_of(node)
+        return index.name_of(index.owner[nid] or index.occupancy[nid])
+
+    def commit_used(self, net_name: str, used_sorted) -> None:
+        index = self.index
+        net_id = index.intern(net_name)
+        occupancy = index.occupancy
+        nx, ny = index.nx, index.ny
+        for layer, ix, iy in used_sorted:
+            nid = (layer * ny + iy) * nx + ix
+            if occupancy[nid] == 0:
+                occupancy[nid] = net_id
+
+    def release_reservations(self, net_name: str, used: set[LNode]) -> None:
+        index = self.index
+        net_id = index.intern(net_name)
+        owner = index.owner
+        for node in self.reservations.pop(net_name, ()):
+            if node not in used:
+                nid = index.nid_of(node)
+                if owner[nid] == net_id:
+                    owner[nid] = 0
+
+    def rip(self, net_name: str, nodes) -> None:
+        index = self.index
+        net_id = index.intern(net_name)
+        occupancy = index.occupancy
+        for node in nodes:
+            nid = index.nid_of(node)
+            if occupancy[nid] == net_id:
+                occupancy[nid] = 0
+
+
 class DetailedRouter:
     """Guide-honoring sequential detailed router."""
 
@@ -58,6 +332,7 @@ class DetailedRouter:
         params: SearchParams | None = None,
         guide_margin_tracks: int = 2,
         drc_rounds: int = 2,
+        use_indexed: bool = True,
     ) -> None:
         self.design = design
         self.lattice = TrackLattice(design.tech, design.die)
@@ -69,8 +344,67 @@ class DetailedRouter:
         self.guide_margin = guide_margin_tracks
         #: conflict-driven rip-up-and-reroute rounds after the first pass
         self.drc_rounds = drc_rounds
+        #: flat-array kernel (default) vs dict oracle (parity baseline)
+        self.use_indexed = use_indexed
+        #: a bound :class:`~repro.par.executor.ParallelExecutor`, or None
+        self.executor = None
+        self._state: _DictState | _IndexedState | None = None
+        self._session_guides: dict[str, list[GuideRect]] | None = None
+        self._stats = SearchStats()
+
+    @property
+    def ctor_args(self) -> dict:
+        """Constructor kwargs a worker needs to rebuild this router."""
+        return {
+            "params": self.params,
+            "guide_margin_tracks": self.guide_margin,
+            "drc_rounds": self.drc_rounds,
+            "use_indexed": self.use_indexed,
+        }
 
     # ------------------------------------------------------------------ API
+
+    def begin_session(
+        self, guides: dict[str, list[GuideRect]] | None
+    ) -> "_DictState | _IndexedState":
+        """Build the per-run routing state (obstacle map + occupancy).
+
+        Split out of :meth:`route_all` so worker replicas can mirror the
+        parent's session: the parent's ``"ds"`` log entry triggers this
+        on the replica, after which ``"dn"`` entries replay first-pass
+        commits in parent order.
+        """
+        state = _IndexedState(self) if self.use_indexed else _DictState(self)
+        self._state = state
+        self._session_guides = guides
+        self._stats = SearchStats()
+        return state
+
+    def replay_commit(self, name: str, used) -> None:
+        """Replay one committed net on a replica (a ``"dn"`` log entry)."""
+        state = self._state
+        state.commit_used(name, used)
+        state.release_reservations(name, set(used))
+
+    def compute_net(self, net_name: str) -> NetComputation:
+        """Compute one net against the session state (worker entry point).
+
+        Pure with respect to committed state; the caller owns the
+        commit.  Search counters flush immediately so worker-side
+        metrics ship through the obs payload.
+        """
+        net = self.design.nets[net_name]
+        guides = self._session_guides
+        stats = SearchStats()
+        try:
+            return self._net_compute(
+                net,
+                guides.get(net_name) if guides is not None else None,
+                self._state,
+                stats,
+            )
+        finally:
+            stats.flush()
 
     def route_all(
         self, guides: dict[str, list[GuideRect]] | None = None
@@ -79,44 +413,48 @@ class DetailedRouter:
         start = time.perf_counter()
         tracer = get_tracer()
         with tracer.span("droute.obstacles"):
-            owner, reservations = build_obstacle_map(self.design, self.lattice)
-        occupancy: dict[LNode, str] = {}
-        conflicts: dict[LNode, tuple[str, str]] = {}
+            state = self.begin_session(guides)
+        stats = self._stats
+        # Round bookkeeping outside the A* inner loop.
+        conflicts: dict[LNode, tuple[str, str]] = {}  # repro: noqa:REPRO-P001
         net_nodes: dict[str, set[LNode]] = {}
         pin_nodes: dict[str, set[LNode]] = {}
         result = DetailedResult()
-
         patch_counts: dict[str, int] = {}
+
+        executor = self.executor
+        use_executor = executor is not None and executor.router is not None
 
         with tracer.span("droute.first_pass"):
             order = sorted(
                 self.design.nets.values(),
                 key=lambda n: (self.design.net_hpwl(n), n.name),
             )
-            for net in order:
-                check_deadline("droute.net")
-                self._route_net(
-                    net,
-                    guides.get(net.name) if guides is not None else None,
-                    owner,
-                    occupancy,
-                    conflicts,
-                    net_nodes,
-                    pin_nodes,
-                    patch_counts,
-                    result,
+            if use_executor:
+                executor.note_droute_start(self, guides)
+                self._first_pass_batched(
+                    order, guides, state, stats, executor,
+                    conflicts, net_nodes, pin_nodes, patch_counts, result,
                 )
-                # Release this net's unused escape reservations: once routed,
-                # later nets may pass over its pins' spare landings.
-                used = net_nodes.get(net.name, set())
-                for node in reservations.pop(net.name, ()):
-                    if node not in used and owner.get(node) == net.name:
-                        del owner[node]
+            else:
+                for net in order:
+                    check_deadline("droute.net")
+                    comp = self._net_compute(
+                        net,
+                        guides.get(net.name) if guides is not None else None,
+                        state,
+                        stats,
+                    )
+                    self._commit_net(
+                        comp, state, conflicts, net_nodes, pin_nodes,
+                        patch_counts, result,
+                    )
 
         # Conflict-driven rip-up-and-reroute: every net involved in a
         # short is ripped (both aggressor and victim) and rerouted with a
         # clean slate — the detailed-routing analogue of the global
-        # router's RRR passes.
+        # router's RRR passes.  Always serial: rip-ups are not replayed
+        # to worker replicas (a later session rebuilds them from scratch).
         for round_index in range(self.drc_rounds):
             ripped: set[str] = set()
             for net_a, net_b in conflicts.values():
@@ -128,9 +466,7 @@ class DetailedRouter:
             metrics.count("droute.rrr_rounds")
             metrics.count("droute.ripped_nets", len(ripped))
             for name in sorted(ripped):
-                for node in net_nodes.pop(name, ()):
-                    if occupancy.get(node) == name:
-                        del occupancy[node]
+                state.rip(name, net_nodes.pop(name, ()))
                 result.paths.pop(name, None)
                 patch_counts.pop(name, None)
             conflicts = {
@@ -148,16 +484,15 @@ class DetailedRouter:
                     ripped,
                     key=lambda n: (self.design.net_hpwl(self.design.nets[n]), n),
                 ):
-                    self._route_net(
+                    comp = self._net_compute(
                         self.design.nets[name],
                         guides.get(name) if guides is not None else None,
-                        owner,
-                        occupancy,
-                        conflicts,
-                        net_nodes,
-                        pin_nodes,
-                        patch_counts,
-                        result,
+                        state,
+                        stats,
+                    )
+                    self._commit_net(
+                        comp, state, conflicts, net_nodes, pin_nodes,
+                        patch_counts, result,
                     )
 
         with tracer.span("droute.drc"):
@@ -166,6 +501,7 @@ class DetailedRouter:
             result.violations.extend(
                 check_min_area(self.lattice, net_nodes, pin_nodes)
             )
+        stats.flush()
         metrics = get_metrics()
         metrics.count("droute.drvs", result.num_drvs)
         metrics.gauge("droute.wirelength_dbu", result.wirelength_dbu)
@@ -190,30 +526,29 @@ class DetailedRouter:
 
     # -------------------------------------------------------------- per-net
 
-    def _route_net(
+    def _net_compute(
         self,
         net: Net,
         net_guides: list[GuideRect] | None,
-        owner: dict[LNode, str],
-        occupancy: dict[LNode, str],
-        conflicts: dict[LNode, tuple[str, str]],
-        net_nodes: dict[str, set[LNode]],
-        pin_nodes: dict[str, set[LNode]],
-        patch_counts: dict[str, int],
-        result: DetailedResult,
-    ) -> None:
+        state: "_DictState | _IndexedState",
+        stats: SearchStats,
+    ) -> NetComputation:
+        """Route one net against committed state without committing."""
         lattice = self.lattice
         terminal_access: list[list[LNode]] = []
         for pin in net.pins:
             nodes = access_nodes(self.design, lattice, pin)
             terminal_access.append(nodes)
-        pin_nodes[net.name] = {n for nodes in terminal_access for n in nodes}
+        pins = {n for nodes in terminal_access for n in nodes}
 
-        guide_nodes, bounds = self._guide_region(net_guides, terminal_access)
+        guide, bounds = state.guide_region(net_guides, terminal_access)
 
-        connected: set[LNode] = set(terminal_access[0])
-        used: set[LNode] = set(terminal_access[0])
+        # Per-net assembly sets (a few hundred nodes), not search state.
+        connected: set[LNode] = set(terminal_access[0])  # repro: noqa:REPRO-P001
+        used: set[LNode] = set(terminal_access[0])  # repro: noqa:REPRO-P001
         paths: list[list[LNode]] = []
+        opens: list[LNode] = []
+        conflict_nodes: list[LNode] = []
 
         for nodes in terminal_access[1:]:
             targets = set(nodes)
@@ -221,72 +556,194 @@ class DetailedRouter:
                 connected |= targets
                 used |= targets
                 continue
-            search = self._fast_pattern(
-                net.name, connected, targets, owner, occupancy, guide_nodes
-            )
+            search = self._fast_pattern(net.name, connected, targets, state, guide)
             if search is None:
-                search = astar_connect(
-                    lattice,
-                    connected,
-                    targets,
-                    net.name,
-                    owner,
-                    occupancy,
-                    bounds,
-                    guide_nodes,
-                    self.params,
-                    soft=False,
+                search = state.connect(
+                    connected, targets, net.name, bounds, guide,
+                    soft=False, stats=stats,
                 )
             if search is None:
-                search = astar_connect(
-                    lattice,
-                    connected,
-                    targets,
-                    net.name,
-                    owner,
-                    occupancy,
-                    bounds,
-                    None,
-                    self.params,
-                    soft=True,
+                search = state.connect(
+                    connected, targets, net.name, bounds, None,
+                    soft=True, stats=stats,
                 )
             if search is None:
                 get_metrics().count("droute.opens")
-                result.violations.append(
-                    DrcViolation(
-                        kind=DrcKind.OPEN,
-                        layer=nodes[0][0],
-                        net_a=net.name,
-                        node=nodes[0],
-                    )
-                )
+                opens.append(nodes[0])
                 continue
             paths.append(search.path)
             for node in search.path:
                 connected.add(node)
                 used.add(node)
-            for node in search.conflicts:
-                holder = owner.get(node) or occupancy.get(node)
-                if holder and holder not in (net.name, BLOCKED):
-                    conflicts[node] = (net.name, holder)
+            conflict_nodes.extend(search.conflicts)
             connected |= targets
 
-        patch_counts[net.name] = self._patch_min_area(
-            net.name, used, pin_nodes[net.name], owner, occupancy
+        patch_count = self._patch_min_area(net.name, used, pins, state)
+        return NetComputation(
+            name=net.name,
+            paths=paths,
+            used=sorted(used),
+            pins=sorted(pins),
+            patch_count=patch_count,
+            opens=opens,
+            conflict_nodes=conflict_nodes,
         )
-        for node in sorted(used):
-            occupancy.setdefault(node, net.name)
-        net_nodes[net.name] = used
-        result.paths[net.name] = paths
+
+    def _commit_net(
+        self,
+        comp: NetComputation,
+        state: "_DictState | _IndexedState",
+        conflicts: dict[LNode, tuple[str, str]],
+        net_nodes: dict[str, set[LNode]],
+        pin_nodes: dict[str, set[LNode]],
+        patch_counts: dict[str, int],
+        result: DetailedResult,
+    ) -> None:
+        """Apply one computed net to committed state (always serial)."""
+        name = comp.name
+        # Resolve conflict holders against live committed state *before*
+        # this net's own occupancy lands; nothing mutates between a net's
+        # searches and its commit, so this matches search-time resolution.
+        for node in comp.conflict_nodes:
+            holder = state.holder_name(node)
+            if holder and holder not in (name, BLOCKED):
+                conflicts[node] = (name, holder)
+        for node in comp.opens:
+            result.violations.append(
+                DrcViolation(
+                    kind=DrcKind.OPEN, layer=node[0], net_a=name, node=node
+                )
+            )
+        used = set(comp.used)
+        state.commit_used(name, comp.used)
+        # Release this net's unused escape reservations: once routed,
+        # later nets may pass over its pins' spare landings.
+        state.release_reservations(name, used)
+        net_nodes[name] = used
+        pin_nodes[name] = set(comp.pins)
+        patch_counts[name] = comp.patch_count
+        result.paths[name] = comp.paths
         get_metrics().count("droute.nets_routed")
+
+    # ----------------------------------------------------- batched first pass
+
+    def _patch_margin(self) -> int:
+        """Worst-case tracks a min-area patch can grow past search bounds."""
+        lattice = self.lattice
+        pitch = lattice.pitch
+        margin = 0
+        for tech_layer in lattice.tech.layers:
+            if tech_layer.min_area <= 0:
+                continue
+            min_nodes = 1 + max(
+                0,
+                -(-(tech_layer.min_area - tech_layer.width**2)
+                  // (pitch * tech_layer.width)),
+            )
+            margin = max(margin, min_nodes)
+        return margin
+
+    def _net_region(
+        self, net: Net, net_guides: list[GuideRect] | None, expand: int
+    ) -> tuple[int, int, int, int]:
+        """2D track-index rect covering everything this net can touch.
+
+        The search bounds from :func:`_guide_spans`, expanded by the
+        patch-growth margin: compute never reads or writes outside this
+        rect, which is what makes disjoint-region batches byte-identical
+        to the serial walk.
+        """
+        lattice = self.lattice
+        terminal_access = [
+            access_nodes(self.design, lattice, pin) for pin in net.pins
+        ]
+        _, bounds = _guide_spans(
+            lattice, self.guide_margin, net_guides, terminal_access
+        )
+        ix0, iy0, ix1, iy1 = bounds
+        return (
+            max(0, ix0 - expand),
+            max(0, iy0 - expand),
+            min(lattice.nx - 1, ix1 + expand),
+            min(lattice.ny - 1, iy1 + expand),
+        )
+
+    def _first_pass_batched(
+        self,
+        order: list[Net],
+        guides: dict[str, list[GuideRect]] | None,
+        state: "_DictState | _IndexedState",
+        stats: SearchStats,
+        executor,
+        conflicts: dict[LNode, tuple[str, str]],
+        net_nodes: dict[str, set[LNode]],
+        pin_nodes: dict[str, set[LNode]],
+        patch_counts: dict[str, int],
+        result: DetailedResult,
+    ) -> None:
+        """Batched first pass: partition, compute in workers, commit in order.
+
+        Mirrors the global router's ``_commit_batch`` discipline: results
+        land in canonical (serial) net order, and a net whose computed
+        nodes touch a track position already dirtied by an earlier commit
+        of the same batch — structurally impossible for disjoint regions,
+        so this guards doctored results and worker deadlines — is
+        recomputed serially against live state (``par.conflicts``).
+        """
+        from repro.par.partition import ParTask, partition
+
+        lattice = self.lattice
+        expand = self._patch_margin() + 1
+        tasks = []
+        for index, net in enumerate(order):
+            net_guides = guides.get(net.name) if guides is not None else None
+            tasks.append(
+                ParTask(net.name, index, self._net_region(net, net_guides, expand))
+            )
+        batches = partition(tasks, lattice.nx, lattice.ny)
+        metrics = get_metrics()
+        with get_tracer().span("par.droute", batches=len(batches)):
+            for batch in batches:
+                check_deadline("par.batch")
+                metrics.count("par.batches")
+                results = executor.run_droute_batch(
+                    [task.name for task in batch]
+                )
+                dirty: set[tuple[int, int]] = set()
+                for task in batch:
+                    comp = results.get(task.name)
+                    conflict = False
+                    if comp is not None and dirty:
+                        for node in comp.used:
+                            if (node[1], node[2]) in dirty:
+                                conflict = True
+                                break
+                    if comp is None or conflict:
+                        if conflict:
+                            metrics.count("par.conflicts")
+                        check_deadline("droute.net")
+                        comp = self._net_compute(
+                            self.design.nets[task.name],
+                            guides.get(task.name) if guides is not None else None,
+                            state,
+                            stats,
+                        )
+                    self._commit_net(
+                        comp, state, conflicts, net_nodes, pin_nodes,
+                        patch_counts, result,
+                    )
+                    executor.note_droute_commit(comp.name, comp.used)
+                    for node in comp.used:
+                        dirty.add((node[1], node[2]))
+
+    # ------------------------------------------------------------- patching
 
     def _patch_min_area(
         self,
         net_name: str,
         used: set[LNode],
         pins: set[LNode],
-        owner: dict[LNode, str],
-        occupancy: dict[LNode, str],
+        state: "_DictState | _IndexedState",
     ) -> int:
         """Grow under-sized metal patches along the preferred direction.
 
@@ -299,6 +756,7 @@ class DetailedRouter:
         lattice = self.lattice
         pitch = lattice.pitch
         patched = 0
+        patch_free = state.patch_free
         per_layer: dict[int, set[tuple[int, int]]] = defaultdict(set)
         for layer, ix, iy in used:
             per_layer[layer].add((ix, iy))
@@ -328,17 +786,16 @@ class DetailedRouter:
                     continue
                 if any((layer, ix, iy) in pins for ix, iy in component):
                     continue
-                frontier = sorted(component)
+                frontier = deque(sorted(component))
                 while len(component) < min_nodes and frontier:
-                    ix, iy = frontier.pop(0)
+                    ix, iy = frontier.popleft()
                     grown = False
                     here = (layer, ix, iy)
                     for node in lattice.wire_neighbors(here) + lattice.jog_neighbors(here):
                         key = (node[1], node[2])
                         if key in component:
                             continue
-                        holder = owner.get(node) or occupancy.get(node)
-                        if holder is not None and holder != net_name:
+                        if not patch_free(node, net_name):
                             continue
                         component.add(key)
                         used.add(node)
@@ -347,7 +804,7 @@ class DetailedRouter:
                         grown = True
                         break
                     if grown:
-                        frontier.insert(0, (ix, iy))
+                        frontier.appendleft((ix, iy))
         return patched
 
     # ------------------------------------------------------------ fast path
@@ -357,9 +814,8 @@ class DetailedRouter:
         net: str,
         sources: set[LNode],
         targets: set[LNode],
-        owner: dict[LNode, str],
-        occupancy: dict[LNode, str],
-        guide_nodes: set[LNode] | None,
+        state: "_DictState | _IndexedState",
+        guide,
     ) -> "SearchResult | None":
         """Try clean L-shaped connections before falling back to A*.
 
@@ -372,16 +828,17 @@ class DetailedRouter:
         from repro.droute.astar import SearchResult
 
         lattice = self.lattice
-        src, dst = min(
-            ((s, t) for s in sources for t in targets)
-            if len(sources) * len(targets) <= 64
-            else [(next(iter(sources)), next(iter(targets)))],
-            key=lambda pair: (
-                abs(pair[0][1] - pair[1][1])
-                + abs(pair[0][2] - pair[1][2])
-                + abs(pair[0][0] - pair[1][0])
-            ),
-        )
+        if len(sources) * len(targets) <= 64:
+            src, dst = min(
+                ((s, t) for s in sources for t in targets),
+                key=lambda pair: (
+                    abs(pair[0][1] - pair[1][1])
+                    + abs(pair[0][2] - pair[1][2])
+                    + abs(pair[0][0] - pair[1][0])
+                ),
+            )
+        else:
+            src, dst = _nearest_pair(sources, targets)
         layers = lattice.tech.layers
         min_wire = lattice.min_wire_layer
         h_layers = [
@@ -391,16 +848,11 @@ class DetailedRouter:
             l.index for l in layers if l.is_vertical and l.index >= min_wire
         ][:3]
 
+        free_for = state.free_for
+        in_guide = state.in_guide
+
         def free(node: LNode) -> bool:
-            holder = owner.get(node)
-            if holder is not None and holder != net:
-                return False
-            holder = occupancy.get(node)
-            if holder is not None and holder != net:
-                return False
-            if guide_nodes is not None and node not in guide_nodes:
-                return False
-            return True
+            return free_for(node, net) and in_guide(guide, node)
 
         def stack(ix: int, iy: int, l0: int, l1: int) -> list[LNode]:
             step = 1 if l1 >= l0 else -1
@@ -462,60 +914,44 @@ class DetailedRouter:
             return None
         return SearchResult(path=best, cost=best_cost, conflicts=[])
 
-    # --------------------------------------------------------------- guides
 
-    def _guide_region(
-        self,
-        net_guides: list[GuideRect] | None,
-        terminal_access: list[list[LNode]],
-    ):
-        """Guide membership test + search bounds for one net."""
-        lattice = self.lattice
-        margin = self.guide_margin
-        all_nodes = [n for nodes in terminal_access for n in nodes]
-        ix_vals = [n[1] for n in all_nodes]
-        iy_vals = [n[2] for n in all_nodes]
+def _nearest_pair(
+    sources: set[LNode], targets: set[LNode]
+) -> tuple[LNode, LNode]:
+    """True nearest (source, target) pair under the L1 node metric.
 
-        if net_guides is None:
-            slack = 12
-            bounds = (
-                max(0, min(ix_vals) - slack),
-                max(0, min(iy_vals) - slack),
-                min(lattice.nx - 1, max(ix_vals) + slack),
-                min(lattice.ny - 1, max(iy_vals) + slack),
-            )
-            return None, bounds
+    Replaces the old arbitrary single-pair pick above 64 combinations:
+    the distance matrix is vectorized over sorted node lists (argmin
+    ties resolve to the lexicographically smallest pair, so the choice
+    is deterministic).  Truly enormous products are first shortlisted to
+    the per-axis sorted extremes of each side — the nearest pair lives
+    at facing extremes along some axis for the elongated components this
+    regime sees, and even a near-optimal pick only costs the fast-path
+    candidate a few extra tracks.
+    """
+    import numpy as np
 
-        per_layer: dict[int, list[tuple[int, int, int, int]]] = defaultdict(list)
-        g_ix0, g_iy0 = lattice.nx - 1, lattice.ny - 1
-        g_ix1, g_iy1 = 0, 0
-        for guide in net_guides:
-            ix0, iy0, ix1, iy1 = lattice.index_rect(guide.rect)
-            ix0 = max(0, ix0 - margin)
-            iy0 = max(0, iy0 - margin)
-            ix1 = min(lattice.nx - 1, ix1 + margin)
-            iy1 = min(lattice.ny - 1, iy1 + margin)
-            per_layer[guide.layer].append((ix0, iy0, ix1, iy1))
-            g_ix0 = min(g_ix0, ix0)
-            g_iy0 = min(g_iy0, iy0)
-            g_ix1 = max(g_ix1, ix1)
-            g_iy1 = max(g_iy1, iy1)
-        g_ix0 = min(g_ix0, max(0, min(ix_vals) - margin))
-        g_iy0 = min(g_iy0, max(0, min(iy_vals) - margin))
-        g_ix1 = max(g_ix1, min(lattice.nx - 1, max(ix_vals) + margin))
-        g_iy1 = max(g_iy1, min(lattice.ny - 1, max(iy_vals) + margin))
+    src = sorted(sources)
+    dst = sorted(targets)
+    if len(src) * len(dst) > 1 << 22:
+        src = _axis_extremes(src)
+        dst = _axis_extremes(dst)
+    s = np.asarray(src, dtype=np.int64)
+    t = np.asarray(dst, dtype=np.int64)
+    dist = (
+        np.abs(s[:, None, 1] - t[None, :, 1])
+        + np.abs(s[:, None, 2] - t[None, :, 2])
+        + np.abs(s[:, None, 0] - t[None, :, 0])
+    )
+    flat = int(np.argmin(dist))
+    return src[flat // len(dst)], dst[flat % len(dst)]
 
-        guide_nodes: set[LNode] = set()
-        for layer, spans in per_layer.items():
-            for ix0, iy0, ix1, iy1 in spans:
-                for ix in range(ix0, ix1 + 1):
-                    for iy in range(iy0, iy1 + 1):
-                        guide_nodes.add((layer, ix, iy))
-        # Terminals and their escape landings are always fair game.
-        for nodes in terminal_access:
-            for layer, ix, iy in nodes:
-                guide_nodes.add((layer, ix, iy))
-                if layer + 1 < lattice.tech.num_layers:
-                    guide_nodes.add((layer + 1, ix, iy))
 
-        return guide_nodes, (g_ix0, g_iy0, g_ix1, g_iy1)
+def _axis_extremes(nodes: list[LNode], keep: int = 8) -> list[LNode]:
+    """The ``keep`` smallest/largest nodes along each axis (deduplicated)."""
+    chosen: set[int] = set()
+    for axis in (0, 1, 2):
+        order = sorted(range(len(nodes)), key=lambda i: nodes[i][axis])
+        chosen.update(order[:keep])
+        chosen.update(order[-keep:])
+    return [nodes[i] for i in sorted(chosen)]

@@ -372,6 +372,10 @@ def _run_stages(
         fault_point("flow.DR")
         guides = router.guides()
         detailed = DetailedRouter(design)
+        # Reuse the GR executor's worker pool (and mutation log) for the
+        # batched detailed-routing first pass; byte-identical by the
+        # commit-in-canonical-order + conflict-reroute discipline.
+        detailed.executor = executor
         dr_result = detailed.route_all(guides)
         result.quality = evaluate(design.name, design.tech, dr_result)
     result.runtime["DR"] = sp.wall_s

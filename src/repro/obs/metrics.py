@@ -99,6 +99,22 @@ class MetricsRegistry:
                 hist = self._histograms[name] = _Histogram()
             hist.add(value)
 
+    def observe_many(self, name: str, values: list[float]) -> None:
+        """Record a batch of samples into histogram ``name``.
+
+        One lock acquisition and one series lookup for the whole batch —
+        hot loops accumulate locally and flush here instead of paying a
+        registry round-trip per sample (see ``droute``'s A* stats).
+        """
+        if not values:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = _Histogram()
+            for value in values:
+                hist.add(value)
+
     # -------------------------------------------------------------- queries
 
     def counter(self, name: str) -> float:
@@ -168,6 +184,9 @@ class NoopMetrics(MetricsRegistry):
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def observe_many(self, name: str, values: list[float]) -> None:
         pass
 
     def counter(self, name: str) -> float:

@@ -113,6 +113,11 @@ class ParallelExecutor:
         self._estimate_models: dict[bool, tuple[object, object]] = {}
         self._started = False
         self._dead = False
+        #: the DetailedRouter of the active droute session (if any) and
+        #: the session stash replayed to workers when the pool starts
+        #: mid-first-pass: (ctor_args, guides, [(name, used), ...])
+        self._droute = None
+        self._droute_session: list | None = None
         self._next_task = 0
         self._ctx = None
         self._payload: bytes | None = None
@@ -206,6 +211,35 @@ class ParallelExecutor:
         )
         self._synced_pos = positions
 
+    def note_droute_start(self, droute, guides) -> None:
+        """Open a detailed-routing session for the replicas.
+
+        Called by :meth:`DetailedRouter.route_all` before its batched
+        first pass.  If the pool is live the session opens in the log
+        right away (after a move sync, so replicas build their obstacle
+        maps against current cell positions); otherwise it is stashed
+        and flushed by :meth:`_ensure_pool` the moment the pool spins
+        up, together with any commits made serially before that point.
+        """
+        self._droute = droute
+        if self._dead:
+            return
+        if self._started:
+            self._sync_moves()
+            self._log.append(("ds", droute.ctor_args, guides))
+            self._droute_session = None
+        else:
+            self._droute_session = [droute.ctor_args, guides, []]
+
+    def note_droute_commit(self, name: str, used) -> None:
+        """Record one committed detailed-routed net for the replicas."""
+        if self._dead:
+            return
+        if self._started:
+            self._log.append(("dn", name, tuple(used)))
+        elif self._droute_session is not None:
+            self._droute_session[2].append((name, tuple(used)))
+
     def _sync_moves(self) -> None:
         """Append a move entry for every cell that moved since last sync."""
         for name in sorted(self.router.design.cells):
@@ -255,6 +289,15 @@ class ParallelExecutor:
                 None,
             )
         )
+        # A droute session opened before the pool existed (the first
+        # batches were small enough to run in-process): replay the
+        # session open plus every serial commit made so far, in order.
+        if self._droute_session is not None:
+            ctor_args, guides, commits = self._droute_session
+            self._log.append(("ds", ctor_args, guides))
+            for name, used in commits:
+                self._log.append(("dn", name, used))
+            self._droute_session = None
         self._supervisor = PoolSupervisor(
             self,
             poll_s=min(1.0, self.poll_s),
@@ -449,6 +492,17 @@ class ParallelExecutor:
         results = self._dispatch("route", list(names), None, self.chunk)
         return dict(zip(names, results))
 
+    def run_droute_batch(self, names: list[str]) -> dict[str, object]:
+        """Detail-route a spatial batch; name -> NetComputation.
+
+        Requires an open droute session (:meth:`note_droute_start`).
+        ``None`` values (deadline/worker loss) are recomputed serially
+        by :meth:`_dispatch`'s in-process fallback, so the caller always
+        sees a complete mapping.
+        """
+        results = self._dispatch("droute", list(names), None, self.chunk)
+        return dict(zip(names, results))
+
     def run_maze_batch(self, items: list[tuple]) -> dict[str, object]:
         """Maze-reroute a batch of ``(name, old_edges)``; name -> result."""
         results = self._dispatch("maze", list(items), None, self.chunk)
@@ -634,5 +688,6 @@ class ParallelExecutor:
         """
         state = WorkerState.__new__(WorkerState)
         state.router = self.router
+        state.droute = self._droute
         state._estimate_models = self._estimate_models
         return state

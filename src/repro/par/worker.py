@@ -56,10 +56,13 @@ HEARTBEAT_S = 0.5
 class WorkerState:
     """One worker's routing replica plus per-process caches."""
 
-    __slots__ = ("router", "_estimate_models")
+    __slots__ = ("router", "droute", "_estimate_models")
 
     def __init__(self, router: "GlobalRouter") -> None:
         self.router = router
+        #: DetailedRouter replica of the parent's open droute session
+        #: (built by a ``("ds", ...)`` log entry), or None outside one
+        self.droute = None
         self._estimate_models: dict[bool, tuple[object, object]] = {}
 
     def estimate_models(self, use_penalty: bool) -> tuple[object, object]:
@@ -112,7 +115,7 @@ def build_router(payload: bytes) -> "GlobalRouter":
     return GlobalRouter(design, **ctor_args)
 
 
-def apply_entries(router: "GlobalRouter", entries: tuple) -> None:
+def apply_entries(state: WorkerState, entries: tuple) -> None:
     """Replay a slice of the parent's mutation log, in order.
 
     Entry forms:
@@ -126,7 +129,15 @@ def apply_entries(router: "GlobalRouter", entries: tuple) -> None:
       (the parent emits this when something mutated arrays behind the
       graph's back, e.g. a transaction rollback's belt-and-braces
       invalidation).
+    * ``("ds", ctor_args, guides)`` — open a detailed-routing session:
+      build a fresh :class:`DetailedRouter` replica over the replica
+      design (cell positions are already synced by the preceding move
+      entries) and begin a session with the parent's guides.
+    * ``("dn", name, used)`` — one committed detailed-routed net:
+      mark its nodes used and release its reservations, exactly as the
+      parent's commit did.
     """
+    router = state.router
     for entry in entries:
         tag = entry[0]
         if tag == "r":
@@ -147,6 +158,14 @@ def apply_entries(router: "GlobalRouter", entries: tuple) -> None:
                     if (cell.x, cell.y, cell.orient) != (x, y, orient):
                         router.design.move_cell(name, x, y, orient)
             router.invalidate_cost_fields()
+        elif tag == "ds":
+            from repro.droute.router import DetailedRouter
+
+            droute = DetailedRouter(router.design, **entry[1])
+            droute.begin_session(entry[2])
+            state.droute = droute
+        elif tag == "dn":
+            state.droute.replay_commit(entry[1], list(entry[2]))
         else:  # pragma: no cover - protocol error
             raise ValueError(f"unknown log entry tag {tag!r}")
 
@@ -233,6 +252,18 @@ def compute_estimate(
         return estimate_candidate_cost(router.design, router, candidate)
 
 
+def compute_droute(state: WorkerState, net_name: str):
+    """First-pass detail-route of one net, without committing.
+
+    Runs against the session replica built by the ``("ds", ...)`` /
+    ``("dn", ...)`` log entries; identical to the compute half of the
+    parent's serial first pass, so the parent can commit the returned
+    :class:`NetComputation` (or recompute serially on conflict) and
+    stay byte-identical with ``workers=1``.
+    """
+    return state.droute.compute_net(net_name)
+
+
 def compute_item(state: WorkerState, kind: str, item: object, extra: object):
     """Dispatch one work item; shared by workers and the serial path."""
     if kind == "route":
@@ -241,6 +272,8 @@ def compute_item(state: WorkerState, kind: str, item: object, extra: object):
         return compute_maze_route(state.router, item[0], item[1])
     if kind == "estimate":
         return compute_estimate(state, item, bool(extra))
+    if kind == "droute":
+        return compute_droute(state, item)
     raise ValueError(f"unknown task kind {kind!r}")
 
 
@@ -311,7 +344,7 @@ def _worker_loop(worker_id: int, task_queue, result_queue, state: WorkerState) -
         _, task_id, kind, entries, items, extra, budget_s, obs_on = msg
         wall0 = time.perf_counter()
         try:
-            apply_entries(state.router, entries)
+            apply_entries(state, entries)
             done: list = []
             expired = False
 

@@ -1,0 +1,153 @@
+"""Bit-exact parity suite: indexed detailed-routing kernel vs dict oracle.
+
+The flat-array kernel (``use_indexed=True``, the default) must produce
+byte-identical routes, violations, and quality to the dict-of-tuples
+oracle (``use_indexed=False``) on every design — same discipline as the
+grid cost field's scalar oracle.  Any divergence is a kernel bug, never
+an acceptable approximation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.droute import DetailedRouter
+from repro.droute.indexed import BLOCKED_ID, FREE, DrouteIndex
+from repro.droute.lattice import TrackLattice
+from repro.droute.obstacles import BLOCKED, build_obstacle_map
+from repro.groute import GlobalRouter
+
+from helpers import add_cell, add_two_pin_net, build_tiny_design, fresh_small
+
+
+def signature(result):
+    """Everything observable about a DetailedResult, fully ordered."""
+    return (
+        sorted(
+            (name, tuple(tuple(node) for node in path))
+            for name, paths in result.paths.items()
+            for path in paths
+        ),
+        sorted(
+            (v.kind.value, v.layer, v.net_a, v.net_b, v.node)
+            for v in result.violations
+        ),
+        result.wirelength_dbu,
+        result.vias,
+    )
+
+
+def route_both(design_factory, guides_from_gr: bool, **router_kw):
+    """Route two fresh copies, oracle and indexed; return signatures."""
+    sigs = []
+    for use_indexed in (False, True):
+        design = design_factory()
+        guides = None
+        if guides_from_gr:
+            gr = GlobalRouter(design)
+            gr.route_all()
+            guides = gr.guides()
+        router = DetailedRouter(design, use_indexed=use_indexed, **router_kw)
+        sigs.append(signature(router.route_all(guides)))
+    return sigs
+
+
+# ------------------------------------------------------------------ index
+
+
+def test_index_interns_owner_map(tech45):
+    design = build_tiny_design(tech45, num_rows=4, sites_per_row=30)
+    add_cell(design, "a", "INV_X1", 1, 0)
+    add_cell(design, "b", "INV_X1", 20, 2)
+    add_two_pin_net(design, "n", "a", "b")
+    lattice = TrackLattice(design.tech, design.die)
+    owner, _ = build_obstacle_map(design, lattice)
+    index = DrouteIndex(lattice, owner)
+    assert index.intern(BLOCKED) == BLOCKED_ID
+    nid_of_net = index.intern("n")
+    assert nid_of_net >= 2
+    for node, name in owner.items():
+        nid = index.nid_of(node)
+        assert index.owner[nid] == index.intern(name)
+        assert index.node_of(nid) == node
+    # Nodes absent from the dict map are FREE in the dense array.
+    assert FREE == 0 and index.owner.count(FREE) > 0
+
+
+def test_index_roundtrips_node_ids(tech45):
+    design = build_tiny_design(tech45)
+    lattice = TrackLattice(design.tech, design.die)
+    index = DrouteIndex(lattice, {})
+    for node in [(0, 0, 0), (1, 2, 3), (index.num_layers - 1, 0, 1)]:
+        assert index.node_of(index.nid_of(node)) == node
+
+
+# ----------------------------------------------------------------- parity
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29, 47])
+def test_randomized_parity_with_guides(seed):
+    """Guided DR (the production path) is bit-exact across backends."""
+    oracle, indexed = route_both(
+        lambda: fresh_small(seed=seed, num_cells=80, num_nets=70),
+        guides_from_gr=True,
+    )
+    assert indexed == oracle
+
+
+@pytest.mark.parametrize("seed", [5, 17])
+def test_randomized_parity_unguided(seed):
+    """Unguided DR exercises the no-guide kernel loops."""
+    oracle, indexed = route_both(
+        lambda: fresh_small(seed=seed, num_cells=60, num_nets=50),
+        guides_from_gr=False,
+    )
+    assert indexed == oracle
+
+
+def test_parity_through_ripup_rounds():
+    """Conflict rip-up rounds (soft reroutes) stay bit-exact."""
+    oracle, indexed = route_both(
+        lambda: fresh_small(seed=23, num_cells=100, num_nets=90,
+                            utilization=0.8),
+        guides_from_gr=True,
+        drc_rounds=3,
+    )
+    assert indexed == oracle
+
+
+def test_parity_min_area_patching(tech45):
+    """A via-stack net needing min-area patches patches identically."""
+
+    def factory():
+        design = build_tiny_design(tech45, num_rows=4, sites_per_row=30)
+        add_cell(design, "a", "INV_X1", 1, 0)
+        add_cell(design, "b", "INV_X1", 20, 3)
+        add_two_pin_net(design, "n", "a", "b")
+        return design
+
+    oracle, indexed = route_both(factory, guides_from_gr=False)
+    assert indexed == oracle
+
+
+def test_parity_dense_conflicts(tech45):
+    """Nets forced through one corridor (shorts, soft fallbacks)."""
+
+    def factory():
+        design = build_tiny_design(tech45, num_rows=2, sites_per_row=20)
+        add_cell(design, "a0", "INV_X1", 0, 0)
+        add_cell(design, "b0", "INV_X1", 18, 0)
+        add_cell(design, "a1", "INV_X1", 2, 0)
+        add_cell(design, "b1", "INV_X1", 16, 0)
+        add_two_pin_net(design, "n0", "a0", "b0")
+        add_two_pin_net(design, "n1", "a1", "b1")
+        return design
+
+    oracle, indexed = route_both(factory, guides_from_gr=False)
+    assert indexed == oracle
+
+
+def test_indexed_is_default():
+    design = fresh_small()
+    assert DetailedRouter(design).use_indexed is True
+    assert DetailedRouter(design).ctor_args["use_indexed"] is True

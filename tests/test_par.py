@@ -170,6 +170,87 @@ class TestParity:
             executor.close()
 
 
+# ------------------------------------------------------ detailed routing
+
+
+def droute_sig(result) -> tuple:
+    """Fully ordered signature of a DetailedResult."""
+    return (
+        sorted(
+            (name, tuple(tuple(node) for node in path))
+            for name, paths in result.paths.items()
+            for path in paths
+        ),
+        sorted(
+            (v.kind.value, v.layer, v.net_a, v.net_b, v.node)
+            for v in result.violations
+        ),
+        result.wirelength_dbu,
+        result.vias,
+    )
+
+
+def droute_serial(design):
+    """GR + DR with no executor anywhere: the parity baseline."""
+    from repro.droute import DetailedRouter
+
+    router = GlobalRouter(design)
+    router.route_all(rrr_passes=1)
+    detailed = DetailedRouter(design)
+    return detailed.route_all(router.guides())
+
+
+def droute_parallel(design, workers: int, **executor_kw):
+    """GR + batched DR sharing one executor; returns the DR result."""
+    from repro.droute import DetailedRouter
+
+    router = GlobalRouter(design)
+    executor = ParallelExecutor(workers, **executor_kw)
+    executor.bind(router)
+    try:
+        router.route_all(rrr_passes=1)
+        detailed = DetailedRouter(design)
+        detailed.executor = executor
+        return detailed.route_all(router.guides())
+    finally:
+        executor.close()
+
+
+def droute_design():
+    """Big enough that the spatial partitioner yields multi-net batches
+    (small designs serialize into singleton batches and never pool)."""
+    return fresh_small(seed=7, num_cells=120, num_nets=100)
+
+
+class TestDetailedRoutingParity:
+    def test_droute_workers_match_serial_byte_for_byte(self):
+        expected = droute_sig(droute_serial(droute_design()))
+        for workers in (1, 2, 4):
+            result = droute_parallel(droute_design(), workers=workers, chunk=1)
+            assert droute_sig(result) == expected, f"workers={workers}"
+
+    def test_droute_session_stashed_until_pool_starts(self):
+        # The executor is bound only after GR, so the droute session
+        # opens before any pool exists; the stash must replay the
+        # session + early serial commits when the pool spins up mid-DR.
+        from repro.droute import DetailedRouter
+
+        expected = droute_sig(droute_serial(droute_design()))
+        design = droute_design()
+        router = GlobalRouter(design)
+        router.route_all(rrr_passes=1)
+        executor = ParallelExecutor(2, chunk=1)
+        executor.bind(router)
+        try:
+            detailed = DetailedRouter(design)
+            detailed.executor = executor
+            result = detailed.route_all(router.guides())
+            assert executor._started or executor._dead
+        finally:
+            executor.close()
+        assert droute_sig(result) == expected
+
+
 # ---------------------------------------------------------- commit stage
 
 
