@@ -711,6 +711,56 @@ def _check_scalar_cost_loops(ctx: ModuleContext):
             )
 
 
+def _nets_scan_base(expr: ast.expr) -> ast.expr | None:
+    """The ``design.nets`` attribute access an iterable derives from.
+
+    Recognizes ``design.nets``, ``self.design.nets``, and the dict-view
+    wrappers ``.values()`` / ``.items()`` / ``.keys()`` over either;
+    returns None for anything else.
+    """
+    if isinstance(expr, ast.Call):
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("values", "items", "keys")
+            and not expr.args
+            and not expr.keywords
+        ):
+            expr = expr.func.value
+        else:
+            return None
+    if not (isinstance(expr, ast.Attribute) and expr.attr == "nets"):
+        return None
+    base = expr.value
+    if isinstance(base, ast.Name) and base.id == "design":
+        return expr
+    if isinstance(base, ast.Attribute) and base.attr == "design":
+        return expr
+    return None
+
+
+@rule(
+    "REPRO-P002",
+    Severity.WARNING,
+    "full-design net scan inside the CR&P iteration hot path",
+    "iterating every `design.nets` entry per iteration is the O(all-nets) "
+    "accounting the incremental kernel replaces — price through "
+    "`GlobalRouter.net_cost` (O(dirty) behind `NetCostCache`) or an "
+    "iteration-scoped `repro.core.fastecc.EccCache`, and keep any "
+    "intentional full scan annotated with a reasoned noqa",
+    path_scope=("/core/",),
+)
+def _check_full_net_scans(ctx: ModuleContext):
+    for node in ast.walk(ctx.tree):
+        for iter_expr in _iterated_exprs(node):
+            hit = _nets_scan_base(iter_expr)
+            if hit is not None:
+                yield hit, (
+                    "full `design.nets` scan in the CR&P hot path — "
+                    "account incrementally or annotate why the scan "
+                    "must stay"
+                )
+
+
 # ---------------------------------------------- REPRO-X: cross-process safety
 
 #: constructor calls that bind a mutable container at module scope

@@ -107,6 +107,11 @@ class CrpFramework:
         self.config.validate()
         self.guard = guard or GuardPolicy()
         self._rng = random.Random(self.config.seed)
+        # Incremental accounting is router state (it listens to commit
+        # and rip-up); match it to the config so a use_fast_ecc=False
+        # framework prices through the genuinely-uncached oracle even
+        # on a router a fast framework touched before.
+        router.enable_incremental_cost(self.config.use_fast_ecc)
         # Ablation support: estimate candidate costs congestion-blind
         # (use_penalty=False) while the router itself keeps its model.
         # The cost field must be swapped together with the scalar model,
@@ -185,10 +190,13 @@ class CrpFramework:
         """
         result = CrpResult()
         stale = 0
+        # One total per pass: the post-iteration total doubles as the
+        # next iteration's guard pre-cost (nothing mutates in between),
+        # so each pass pays a single scan instead of two.
         previous = self._total_route_cost()
         for k in range(max_iterations):
             try:
-                result.iterations.append(self.run_iteration(k))
+                result.iterations.append(self.run_iteration(k, pre_cost=previous))
             except DeadlineExceeded:
                 get_metrics().count("crp.deadline_stops")
                 break
@@ -204,15 +212,29 @@ class CrpFramework:
         return result
 
     def _total_route_cost(self) -> float:
-        return sum(self.router.net_cost(name) for name in self.design.nets)
+        # Canonical-order re-sum keeps the total bit-identical to the
+        # uncached scan; with the NetCostCache on, only dirty nets pay
+        # a fresh path_cost walk.
+        return sum(
+            self.router.net_cost(name)
+            for name in self.design.nets  # repro: noqa:REPRO-P002 — canonical-order re-sum over O(dirty) cached per-net values; the scan itself is the deliverable
+        )
 
-    def run_iteration(self, index: int = 0) -> IterationStats:
-        """One pass of the five CR&P steps, each under its own span."""
+    def run_iteration(
+        self, index: int = 0, pre_cost: float | None = None
+    ) -> IterationStats:
+        """One pass of the five CR&P steps, each under its own span.
+
+        ``pre_cost`` lets a driver that already knows the current total
+        route cost (``run_until_converged`` measures it after every
+        iteration) hand it in instead of paying a second scan.
+        """
         stats = IterationStats(iteration=index)
         config = self.config
-        pre_cost = (
-            self._total_route_cost() if self.guard.transactional else 0.0
-        )
+        if pre_cost is None:
+            pre_cost = (
+                self._total_route_cost() if self.guard.transactional else 0.0
+            )
         with ensure_tracer() as tracer, tracer.span(
             "crp.iteration", k=index
         ):
@@ -238,19 +260,31 @@ class CrpFramework:
                     ]
                     with tracer.span("par.route", stage="estimate"):
                         costs = executor.run_estimates(
-                            flat, config.use_penalty
+                            flat,
+                            config.use_penalty,
+                            use_cache=config.use_fast_ecc,
                         )
                     for candidate, cost in zip(flat, costs):
                         candidate.route_cost = cost
                 else:
+                    cache = None
+                    if config.use_fast_ecc:
+                        from repro.core.fastecc import EccCache
+
+                        cache = EccCache()
                     with self.router.pattern3d.using(
                         self._estimate_cost_model, self._estimate_field
                     ):
                         for cell_candidates in candidates.values():
                             for candidate in cell_candidates:
                                 candidate.route_cost = estimate_candidate_cost(
-                                    self.design, self.router, candidate
+                                    self.design,
+                                    self.router,
+                                    candidate,
+                                    cache=cache,
                                 )
+                    if cache is not None:
+                        cache.publish_metrics()
             stats.runtime["ECC"] = sp.wall_s
 
             with tracer.span("crp.ILP") as sp:
@@ -270,6 +304,8 @@ class CrpFramework:
         stats.displacement = update.total_displacement
 
         metrics = get_metrics()
+        if self.router.cost_cache is not None:
+            self.router.cost_cache.publish_metrics()
         if stats.rolled_back:
             metrics.count("guard.rollbacks")
         metrics.count("crp.iterations")

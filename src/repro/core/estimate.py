@@ -11,7 +11,7 @@ where the committed routes put them.
 
 from __future__ import annotations
 
-from repro.geom import Orientation, Point
+from repro.geom import Orientation, Point, Rect
 from repro.db import Design, Net
 from repro.flute import build_rsmt
 from repro.groute import GlobalRouter
@@ -26,6 +26,7 @@ def estimate_candidate_cost(
     router: GlobalRouter,
     candidate: MoveCandidate,
     include_conflicts: bool = False,
+    cache: "object | None" = None,
 ) -> float:
     """Eq. 10 route cost of the candidate's cell nets (Algorithm 3).
 
@@ -33,6 +34,12 @@ def estimate_candidate_cost(
     nets as well; the paper's Algorithm 3 prices only the critical
     cell's own nets (the legalizer already minimized the conflict
     displacement), so the default stays faithful.
+
+    ``cache`` is an optional :class:`repro.core.fastecc.EccCache`;
+    pricing through it is bit-identical to the uncached path (same
+    terminal walk, same RSMT, same DP float operations in the same
+    order) but amortizes terminal derivation, tree topology, and
+    pattern pricing across the candidates of one iteration.
     """
     overrides: dict[str, tuple[int, int, Orientation]] = {
         candidate.cell: candidate.position
@@ -51,7 +58,7 @@ def estimate_candidate_cost(
 
     total = 0.0
     for net in nets:
-        total += estimate_net_cost(design, router, net, overrides)
+        total += estimate_net_cost(design, router, net, overrides, cache)
     return total
 
 
@@ -60,8 +67,11 @@ def estimate_net_cost(
     router: GlobalRouter,
     net: Net,
     overrides: dict[str, tuple[int, int, Orientation]],
+    cache: "object | None" = None,
 ) -> float:
     """Virtual FLUTE + 3D-pattern-route cost of one net (uncommitted)."""
+    if cache is not None:
+        return cache.net_cost(design, router, net, overrides)
     terminals = _terminals_with_overrides(design, router, net, overrides)
     if len(terminals) < 2:
         return 0.0
@@ -106,22 +116,32 @@ def _terminals_with_overrides(
     seen: set[Node] = set()
     for pin in net.pins:
         if pin.cell is not None and pin.cell in overrides:
-            cell = design.cells[pin.cell]
-            x, y, orient = overrides[pin.cell]
-            macro_pin = cell.macro.pin(pin.pin)
-            shapes = macro_pin.placed_shapes(
-                x, y, orient, cell.macro.width, cell.macro.height
-            )
-            from repro.geom import Rect
-
-            point = Rect.bounding([s.rect for s in shapes]).center
-            layer = min(s.layer for s in shapes) if shapes else 0
+            node = overridden_node(design, router, pin, overrides[pin.cell])
         else:
             point = design.pin_point(pin)
             layer = design.pin_layer(pin)
-        gx, gy = router.grid.gcell_of(point)
-        node = (layer, gx, gy)
+            gx, gy = router.grid.gcell_of(point)
+            node = (layer, gx, gy)
         if node not in seen:
             seen.add(node)
             nodes.append(node)
     return nodes
+
+
+def overridden_node(
+    design: Design,
+    router: GlobalRouter,
+    pin,
+    position: tuple[int, int, Orientation],
+) -> Node:
+    """Terminal node of one pin with its cell virtually at ``position``."""
+    cell = design.cells[pin.cell]
+    x, y, orient = position
+    macro_pin = cell.macro.pin(pin.pin)
+    shapes = macro_pin.placed_shapes(
+        x, y, orient, cell.macro.width, cell.macro.height
+    )
+    point = Rect.bounding([s.rect for s in shapes]).center
+    layer = min(s.layer for s in shapes) if shapes else 0
+    gx, gy = router.grid.gcell_of(point)
+    return (layer, gx, gy)

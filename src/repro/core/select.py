@@ -11,6 +11,8 @@ across cells.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.geom import Rect
 from repro.db import Design
 from repro.guard.faults import fault_point
@@ -105,22 +107,61 @@ def _add_conflict_constraints(
                     touched,
                 )
             )
-    for a in range(len(entries)):
-        name_a, i_a, cand_a, rects_a, touched_a = entries[a]
-        for b in range(a + 1, len(entries)):
-            name_b, i_b, cand_b, rects_b, touched_b = entries[b]
-            if name_a == name_b:
-                continue
-            incompatible = bool(touched_a & touched_b) or any(
-                ra.intersects(rb) for ra in rects_a for rb in rects_b
+    count = len(entries)
+    if count < 2:
+        return
+    # The pairwise test is O(entries^2); screen it with vectorized
+    # footprint bounding boxes so the exact (and strict-semantics)
+    # Rect.intersects check only runs on spatially colliding pairs.
+    # Same incompatibility relation, same (a, b) emission order, so
+    # the resulting model is identical row-for-row.
+    owner_ids: dict[str, int] = {}
+    owner = np.empty(count, dtype=np.intp)
+    blx = np.empty(count, dtype=np.int64)
+    bly = np.empty(count, dtype=np.int64)
+    bux = np.empty(count, dtype=np.int64)
+    buy = np.empty(count, dtype=np.int64)
+    for idx, (cell_name, _i, _cand, rects, _touched) in enumerate(entries):
+        owner[idx] = owner_ids.setdefault(cell_name, len(owner_ids))
+        blx[idx] = min(r.lx for r in rects)
+        bly[idx] = min(r.ly for r in rects)
+        bux[idx] = max(r.ux for r in rects)
+        buy[idx] = max(r.uy for r in rects)
+    distinct = owner[:, None] != owner[None, :]
+    # strict-overlap test on bounding boxes: a superset of any-rect
+    # overlap (every footprint rect lies inside its bbox)
+    bbox = (
+        (blx[:, None] < bux[None, :])
+        & (blx[None, :] < bux[:, None])
+        & (bly[:, None] < buy[None, :])
+        & (bly[None, :] < buy[:, None])
+    )
+    incompatible = np.zeros((count, count), dtype=bool)
+    touching: dict[str, list[int]] = {}
+    for idx, entry in enumerate(entries):
+        for name in entry[4]:
+            touching.setdefault(name, []).append(idx)
+    for ids in touching.values():
+        if len(ids) > 1:
+            hit = np.asarray(ids, dtype=np.intp)
+            incompatible[np.ix_(hit, hit)] = True
+    survivors = np.triu(bbox & distinct & ~incompatible, k=1)
+    for a, b in zip(*np.nonzero(survivors)):
+        rects_a = entries[a][3]
+        rects_b = entries[b][3]
+        if any(ra.intersects(rb) for ra in rects_a for rb in rects_b):
+            incompatible[a, b] = True
+    emit = np.triu(incompatible & distinct, k=1)
+    for a in range(count):
+        name_a, i_a = entries[a][0], entries[a][1]
+        for b in np.nonzero(emit[a])[0]:
+            name_b, i_b = entries[b][0], entries[b][1]
+            model.add_constraint(
+                [
+                    (var_of[(name_a, i_a)], 1.0),
+                    (var_of[(name_b, i_b)], 1.0),
+                ],
+                Sense.LE,
+                1.0,
+                name=f"excl[{name_a}:{i_a}][{name_b}:{i_b}]",
             )
-            if incompatible:
-                model.add_constraint(
-                    [
-                        (var_of[(name_a, i_a)], 1.0),
-                        (var_of[(name_b, i_b)], 1.0),
-                    ],
-                    Sense.LE,
-                    1.0,
-                    name=f"excl[{name_a}:{i_a}][{name_b}:{i_b}]",
-                )

@@ -261,6 +261,31 @@ class CostField:
             return float(prefix[end, line] - prefix[start, line])
         return float(prefix[line, end] - prefix[line, start])
 
+    def run_cost_batch(
+        self, layers: list[int], runs: list[tuple[int, int, int]]
+    ) -> np.ndarray:
+        """Vectorized :meth:`run_cost` over a ``layers`` x ``runs`` grid.
+
+        ``runs`` is a list of ``(start, end, line)`` triples, all on
+        layers of one preferred direction; the result is a float64
+        array of shape ``(len(layers), len(runs))`` whose every element
+        is the same two-lookup prefix difference :meth:`run_cost` would
+        return (one subtraction per element, so the values are
+        bit-identical).  The caller must :meth:`ensure` freshness first.
+        """
+        count = len(runs)
+        starts = np.fromiter((r[0] for r in runs), dtype=np.intp, count=count)
+        ends = np.fromiter((r[1] for r in runs), dtype=np.intp, count=count)
+        lines = np.fromiter((r[2] for r in runs), dtype=np.intp, count=count)
+        out = np.empty((len(layers), count), dtype=np.float64)
+        for i, layer in enumerate(layers):
+            prefix = self._prefix[layer]
+            if self._horizontal[layer]:
+                out[i] = prefix[ends, lines] - prefix[starts, lines]
+            else:
+                out[i] = prefix[lines, ends] - prefix[lines, starts]
+        return out
+
     def overflow_edges(self) -> list[GridEdge]:
         """Wire edges with Eq. 9 demand strictly above capacity.
 

@@ -109,6 +109,9 @@ class GlobalRouter:
         # Plain dict (not defaultdict): lookups must never materialize
         # empty entries, or the RRR scan grows monotonically.
         self._edge_nets: dict[GridEdge, set[str]] = {}
+        #: O(dirty-nets) per-net cost cache, or ``None`` for the full-
+        #: rescan oracle; toggled by :meth:`enable_incremental_cost`
+        self.cost_cache = None
 
     # ------------------------------------------------------------ terminals
 
@@ -258,6 +261,8 @@ class GlobalRouter:
         for edge in route.edges:
             self._edge_nets.setdefault(edge, set()).add(route.net)
         self.routes[route.net] = route
+        if self.cost_cache is not None:
+            self.cost_cache.note_commit(route.net, route.edges)
 
     def rip_up(self, net_name: str) -> None:
         route = self.routes.pop(net_name, None)
@@ -274,6 +279,8 @@ class GlobalRouter:
                 users.discard(net_name)
                 if not users:
                     del self._edge_nets[edge]
+        if self.cost_cache is not None:
+            self.cost_cache.note_rip(net_name, route.edges)
 
     def reroute_nets(self, net_names: list[str]) -> None:
         """Rip up and pattern-reroute nets (CR&P's Update Database step)."""
@@ -551,6 +558,8 @@ class GlobalRouter:
         """
         if self.field is not None:
             self.field.note_all()
+        if self.cost_cache is not None:
+            self.cost_cache.note_all()
         if self.executor is not None:
             self.executor.note_desync()
 
@@ -591,14 +600,44 @@ class GlobalRouter:
 
     # ------------------------------------------------------------- queries
 
+    def enable_incremental_cost(self, enabled: bool = True) -> None:
+        """Attach (or drop) the O(dirty-nets) per-net cost cache.
+
+        With the cache on, :meth:`net_cost` serves bit-identical cached
+        values and re-prices only nets whose cost a commit/rip-up can
+        have changed; ``enabled=False`` restores the full-rescan oracle
+        (the parity suite's ``use_fast_ecc=False`` arm).
+        """
+        if not enabled:
+            self.cost_cache = None
+            return
+        if self.cost_cache is None:
+            from repro.groute.costcache import NetCostCache
+
+            self.cost_cache = NetCostCache(self)
+
     def net_cost(self, net_name: str) -> float:
         """Eq. 10 path cost of a net's current route."""
+        if self.cost_cache is not None:
+            return self.cost_cache.net_cost(net_name)
+        return self._net_cost_fresh(net_name)
+
+    def _net_cost_fresh(self, net_name: str) -> float:
+        """Uncached :meth:`net_cost` (the oracle the cache must match)."""
         route = self.routes.get(net_name)
         if route is None:
             return 0.0
         if self.field is not None:
             return self.field.path_cost(sorted(route.edges))
         return self.cost.path_cost(sorted(route.edges))
+
+    def total_route_cost(self) -> float:
+        """Eq. 10 total over every net, summed in canonical design order.
+
+        O(dirty) path_cost work when the incremental cache is enabled;
+        identical bits either way (same addends, same association).
+        """
+        return sum(self.net_cost(name) for name in self.design.nets)
 
     def cell_cost(self, cell_name: str) -> float:
         """Total route cost of the nets on a cell (Algorithm 1 ordering)."""

@@ -59,6 +59,29 @@ class _WindowRow:
         return self.row.site_x(self.first_site + local_site)
 
 
+_MEMO_MISS = object()
+_FALLBACK = object()
+
+
+def _ambiguous(values: np.ndarray, best: float) -> bool:
+    """True when the optimum is not *provably* unique.
+
+    An exact tie means two assignments price identically and only the
+    backend's tie-break picks between them; a runner-up within the
+    ladder's MIP gap tolerances (HiGHS defaults: ``mip_rel_gap=1e-4``,
+    ``mip_abs_gap=1e-6``, each taken with 2x headroom) means the
+    backend is *allowed* to return the runner-up.  Both cases delegate
+    to the real solver.
+    """
+    if int(np.count_nonzero(values == best)) > 1:
+        return True
+    others = values[values > best]
+    if others.size == 0:
+        return False
+    gap = float(others.min()) - float(best)
+    return gap <= 2e-6 + 2e-4 * abs(float(best))
+
+
 class WindowLegalizer:
     """Generates legalized candidate positions for critical cells."""
 
@@ -71,6 +94,7 @@ class WindowLegalizer:
         max_targets: int = 8,
         backend: str = "auto",
         ilp_budget_s: float | None = None,
+        fast: bool = False,
     ) -> None:
         self.design = design
         self.n_sites = n_sites
@@ -79,6 +103,22 @@ class WindowLegalizer:
         self.max_targets = max_targets
         self.backend = backend
         self.ilp_budget_s = ilp_budget_s
+        self.fast = fast
+        # The memo and the specialized exact solver arm only when a
+        # solve is a reproducible function of the window signature: no
+        # wall-clock budget (expiry degrades the ladder to greedy) and
+        # an exact backend resolution.  Everything else keeps the plain
+        # per-window ILP path.
+        self._fast_gcp = (
+            fast and ilp_budget_s is None and backend in ("auto", "scipy")
+        )
+        #: window-signature -> solved outcome, scoped to this instance
+        #: (CR&P builds a fresh legalizer per iteration)
+        self._memo: dict = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.fast_solves = 0
+        self.fast_fallbacks = 0
 
     # ------------------------------------------------------------------ API
 
@@ -98,15 +138,19 @@ class WindowLegalizer:
         movable = self._pick_movable(cell_name, window_rows)
         self._carve_free_space(window_rows, movable)
 
+        # Median positions depend only on the committed placement, not
+        # on the target slot — compute once per run, not once per target.
+        medians = {name: median_position(design, name) for name in movable}
+
         cell_sites = self._width_in_sites(cell.width, home_row.site.width)
         target_positions = self._enumerate_targets(
-            cell_name, window_rows, cell_sites
+            cell_name, window_rows, cell_sites, medians[cell_name]
         )
 
         candidates: list[LegalizedCandidate] = []
         for row_slice, local_site in target_positions:
             candidate = self._legalize_with_target(
-                cell_name, movable, window_rows, row_slice, local_site
+                cell_name, movable, window_rows, row_slice, local_site, medians
             )
             if candidate is not None:
                 candidates.append(candidate)
@@ -220,6 +264,7 @@ class WindowLegalizer:
         cell_name: str,
         window_rows: list[_WindowRow],
         cell_sites: int,
+        median: Point,
     ) -> list[tuple[_WindowRow, int]]:
         """Feasible target slots for the critical cell, best-first.
 
@@ -230,7 +275,6 @@ class WindowLegalizer:
         """
         design = self.design
         cell = design.cells[cell_name]
-        median = median_position(design, cell_name)
         scored: list[tuple[float, int, _WindowRow, int]] = []
         for order, row_slice in enumerate(window_rows):
             for local in range(row_slice.num_sites - cell_sites + 1):
@@ -254,6 +298,7 @@ class WindowLegalizer:
         window_rows: list[_WindowRow],
         target_row: _WindowRow,
         target_site: int,
+        medians: dict[str, Point],
     ) -> LegalizedCandidate | None:
         """Solve Eq. 11 with the critical cell pinned to one target slot."""
         design = self.design
@@ -264,7 +309,6 @@ class WindowLegalizer:
             name: self._width_in_sites(design.cells[name].width, site_width)
             for name in movable
         }
-        medians = {name: median_position(design, name) for name in movable}
 
         target_x = target_row.site_x(target_site)
         target_y = target_row.row.origin_y
@@ -294,27 +338,114 @@ class WindowLegalizer:
                 ),
             )
 
+        key = None
+        if self._fast_gcp:
+            key = self._memo_key(
+                movable, window_rows, target_row, target_site, cell_sites, medians
+            )
+            outcome = self._memo.get(key, _MEMO_MISS)
+            if outcome is not _MEMO_MISS:
+                self.memo_hits += 1
+                return self._candidate_from(
+                    cell_name, movable, target_row, target_site, outcome
+                )
+            self.memo_misses += 1
+
+        all_options: list[list[tuple[int, _WindowRow, int]]] = []
+        for name in movable:
+            options = self._options_for(
+                name, cell_name, cell_sites[name], window_rows,
+                target_row, target_site,
+            )
+            if not options:
+                if key is not None:
+                    self._memo[key] = None
+                return None
+            all_options.append(options)
+
+        outcome = _FALLBACK
+        if key is not None:
+            outcome = self._solve_fast(
+                movable, all_options, cell_sites, medians,
+                site_width, row_height,
+            )
+            if outcome is not _FALLBACK:
+                self.fast_solves += 1
+        if outcome is _FALLBACK:
+            if key is not None:
+                self.fast_fallbacks += 1
+            outcome = self._solve_ilp(
+                cell_name, movable, all_options, cell_sites, medians,
+                site_width, row_height,
+            )
+        if key is not None:
+            self._memo[key] = outcome
+        return self._candidate_from(
+            cell_name, movable, target_row, target_site, outcome
+        )
+
+    def _options_for(
+        self,
+        name: str,
+        cell_name: str,
+        width_sites: int,
+        window_rows: list[_WindowRow],
+        target_row: _WindowRow,
+        target_site: int,
+    ) -> list[tuple[int, _WindowRow, int]]:
+        """Feasible slots of one movable cell, in model variable order."""
+        if name == cell_name:
+            # The critical cell is pinned: its only admissible slot is
+            # the target itself (when the carved span is free).
+            if target_site > target_row.num_sites - width_sites:
+                return []
+            span = target_row.free[target_site : target_site + width_sites]
+            if not span.all():
+                return []
+            return [(window_rows.index(target_row), target_row, target_site)]
+        options: list[tuple[int, _WindowRow, int]] = []
+        for row_order, row_slice in enumerate(window_rows):
+            count = row_slice.num_sites - width_sites + 1
+            if count <= 0:
+                continue
+            free = row_slice.free
+            if width_sites == 1:
+                feasible = free
+            else:
+                # sliding-window "all free" via a prefix sum — one
+                # vector op instead of a span.all() per start site
+                prefix = np.zeros(len(free) + 1, dtype=np.intp)
+                np.cumsum(free, out=prefix[1:])
+                feasible = (
+                    prefix[width_sites:] - prefix[:-width_sites]
+                ) == width_sites
+            for local in np.nonzero(feasible[:count])[0]:
+                options.append((row_order, row_slice, int(local)))
+        return options
+
+    def _solve_ilp(
+        self,
+        cell_name: str,
+        movable: list[str],
+        all_options: list[list[tuple[int, _WindowRow, int]]],
+        cell_sites: dict[str, int],
+        medians: dict[str, Point],
+        site_width: int,
+        row_height: int,
+    ):
+        """The Eq. 11 window ILP (the oracle the fast solver must match).
+
+        Returns ``None`` (infeasible / solver declined) or
+        ``(assignments, objective)`` with one ``(x, y, orient)`` per
+        movable cell in ``movable`` order.
+        """
         model = IlpModel(f"legalize[{cell_name}]")
         # slot coverage: (row index in window, local site) -> list of vars
         coverage: dict[tuple[int, int], list[int]] = {}
         placements: dict[int, tuple[str, int, int, Orientation]] = {}
 
-        for name in movable:
-            width_sites = cell_sites[name]
+        for name, options in zip(movable, all_options):
             median = medians[name]
-            options: list[tuple[int, _WindowRow, int]] = []
-            for row_order, row_slice in enumerate(window_rows):
-                if name == cell_name and row_slice is not target_row:
-                    continue
-                for local in range(row_slice.num_sites - width_sites + 1):
-                    if name == cell_name and local != target_site:
-                        continue
-                    span = row_slice.free[local : local + width_sites]
-                    if not span.all():
-                        continue
-                    options.append((row_order, row_slice, local))
-            if not options:
-                return None
             var_indices: list[int] = []
             for row_order, row_slice, local in options:
                 x = row_slice.site_x(local)
@@ -346,10 +477,39 @@ class WindowLegalizer:
         if not solution.ok:
             return None
 
-        conflict_moves: dict[str, tuple[int, int, Orientation]] = {}
-        position: tuple[int, int, Orientation] | None = None
+        chosen: dict[str, tuple[int, int, Orientation]] = {}
         for var_name in solution.chosen():
             name, x, y, orient = placements[model.var_index(var_name)]
+            chosen[name] = (x, y, orient)
+        if any(name not in chosen for name in movable):
+            return None
+        assignments = tuple(chosen[name] for name in movable)
+        return (assignments, solution.objective)
+
+    def _candidate_from(
+        self,
+        cell_name: str,
+        movable: list[str],
+        target_row: _WindowRow,
+        target_site: int,
+        outcome,
+    ) -> LegalizedCandidate | None:
+        """Materialize a solved outcome against the *current* placement.
+
+        Splitting this from the solve keeps memoized outcomes reusable:
+        the conflict filter compares against live cell positions, which
+        are part of the memo key, so a hit reproduces the exact
+        candidate a fresh solve would have produced.
+        """
+        if outcome is None:
+            return None
+        assignments, objective = outcome
+        design = self.design
+        target_x = target_row.site_x(target_site)
+        target_y = target_row.row.origin_y
+        conflict_moves: dict[str, tuple[int, int, Orientation]] = {}
+        position: tuple[int, int, Orientation] | None = None
+        for name, (x, y, orient) in zip(movable, assignments):
             cell = design.cells[name]
             if name == cell_name:
                 position = (x, y, orient)
@@ -363,5 +523,177 @@ class WindowLegalizer:
             cell=cell_name,
             position=position,
             conflict_moves=conflict_moves,
-            displacement=solution.objective,
+            displacement=objective,
         )
+
+    # -------------------------------------------------- fast GCP kernel
+
+    def _memo_key(
+        self,
+        movable: list[str],
+        window_rows: list[_WindowRow],
+        target_row: _WindowRow,
+        target_site: int,
+        cell_sites: dict[str, int],
+        medians: dict[str, Point],
+    ) -> tuple:
+        """Everything a window solve's outcome is a function of.
+
+        Covers the option enumeration (row geometry + free masks +
+        widths in sites), the Eq. 11 costs (medians, site width, row
+        height), the pinned target, and the current positions the
+        conflict filter compares against.  Cell *names* are excluded on
+        purpose — structurally identical subproblems deduplicate.
+        """
+        design = self.design
+        cells = design.cells
+        return (
+            window_rows.index(target_row),
+            target_site,
+            tuple(
+                (
+                    cell_sites[name],
+                    medians[name].x,
+                    medians[name].y,
+                    cells[name].x,
+                    cells[name].y,
+                )
+                for name in movable
+            ),
+            tuple(
+                (
+                    rs.row.site_x(rs.first_site),
+                    rs.row.origin_y,
+                    rs.row.site.width,
+                    rs.row.height,
+                    rs.row.orient,
+                    rs.num_sites,
+                    rs.free.tobytes(),
+                )
+                for rs in window_rows
+            ),
+        )
+
+    def _solve_fast(
+        self,
+        movable: list[str],
+        all_options: list[list[tuple[int, _WindowRow, int]]],
+        cell_sites: dict[str, int],
+        medians: dict[str, Point],
+        site_width: int,
+        row_height: int,
+    ):
+        """Exact vectorized solve of the pinned-target assignment problem.
+
+        The window model is tiny and rigidly structured: the critical
+        cell is pinned to exactly one option and at most two neighbours
+        each pick one free span, subject to pairwise non-overlap.  The
+        optimum is found by enumerating the (masked) total matrix; the
+        objective accumulates in the same order HiGHS evaluates the
+        model's objective (variable index order = ``movable`` order),
+        so a *unique* optimum is returned bit-identically.  Whenever
+        uniqueness is in doubt — an exact tie, or a runner-up within
+        the ladder backend's MIP gap tolerances — the solve is
+        delegated to the real ILP (``_FALLBACK``), which keeps
+        bit-identity by construction rather than by tie-break guessing.
+
+        Returns ``None`` (infeasible), ``(assignments, objective)``, or
+        ``_FALLBACK``.
+        """
+        n = len(movable)
+        if n > 3 or len(all_options[0]) != 1:
+            return _FALLBACK
+
+        costs: list[np.ndarray] = []
+        rows: list[np.ndarray] = []
+        starts: list[np.ndarray] = []
+        ends: list[np.ndarray] = []
+        places: list[list[tuple[int, int, Orientation]]] = []
+        for name, options in zip(movable, all_options):
+            median = medians[name]
+            width = cell_sites[name]
+            count = len(options)
+            cvec = np.empty(count, dtype=np.float64)
+            rvec = np.empty(count, dtype=np.int64)
+            svec = np.empty(count, dtype=np.int64)
+            pvec: list[tuple[int, int, Orientation]] = []
+            for j, (row_order, row_slice, local) in enumerate(options):
+                x = row_slice.site_x(local)
+                y = row_slice.row.origin_y
+                # Must be the exact Eq. 11 expression of the model.
+                cvec[j] = (
+                    site_width * (abs(x - median.x) / site_width)
+                    + row_height * (abs(y - median.y) / row_height)
+                )
+                rvec[j] = row_order
+                svec[j] = local
+                pvec.append((x, y, row_slice.row.orient))
+            costs.append(cvec)
+            rows.append(rvec)
+            starts.append(svec)
+            ends.append(svec + width)
+            places.append(pvec)
+
+        def against_pinned(i: int) -> np.ndarray:
+            """Options of movable ``i`` that overlap the pinned slot."""
+            return (
+                (rows[i] == rows[0][0])
+                & (starts[i] < ends[0][0])
+                & (starts[0][0] < ends[i])
+            )
+
+        pinned = places[0][0]
+        c0 = costs[0][0]
+        if n == 1:
+            return ((pinned,), float(c0))
+
+        if n == 2:
+            feasible = ~against_pinned(1)
+            if not feasible.any():
+                return None
+            totals = c0 + costs[1]
+            values = totals[feasible]
+            best = values.min()
+            if _ambiguous(values, best):
+                return _FALLBACK
+            j = int(np.flatnonzero(feasible & (totals == best))[0])
+            return ((pinned, places[1][j]), float(best))
+
+        pair = (
+            (rows[1][:, None] == rows[2][None, :])
+            & (starts[1][:, None] < ends[2][None, :])
+            & (starts[2][None, :] < ends[1][:, None])
+        )
+        feasible = (
+            (~against_pinned(1))[:, None]
+            & (~against_pinned(2))[None, :]
+            & ~pair
+        )
+        if not feasible.any():
+            return None
+        totals = (c0 + costs[1])[:, None] + costs[2][None, :]
+        values = totals[feasible]
+        best = values.min()
+        if _ambiguous(values, best):
+            return _FALLBACK
+        i, j = np.argwhere(feasible & (totals == best))[0]
+        return (
+            (pinned, places[1][int(i)], places[2][int(j)]),
+            float(best),
+        )
+
+    def publish_metrics(self) -> None:
+        """Flush window-kernel tallies as ``crp.window_*`` metric deltas."""
+        from repro.obs import get_metrics
+
+        metrics = get_metrics()
+        if not metrics.recording:
+            return
+        metrics.count("crp.window_memo_hits", self.memo_hits)
+        metrics.count("crp.window_memo_misses", self.memo_misses)
+        metrics.count("crp.window_fast_solves", self.fast_solves)
+        metrics.count("crp.window_fast_fallbacks", self.fast_fallbacks)
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.fast_solves = 0
+        self.fast_fallbacks = 0

@@ -119,6 +119,9 @@ class ParallelExecutor:
         self._droute = None
         self._droute_session: list | None = None
         self._next_task = 0
+        #: monotonically increasing token scoping worker EccCaches to
+        #: one run_estimates call (i.e. one CR&P ECC step)
+        self._ecc_epoch = 0
         self._ctx = None
         self._payload: bytes | None = None
         self._heartbeats = None
@@ -509,11 +512,24 @@ class ParallelExecutor:
         return {item[0]: result for item, result in zip(items, results)}
 
     def run_estimates(
-        self, candidates: list, use_penalty: bool
+        self, candidates: list, use_penalty: bool, use_cache: bool = False
     ) -> list[float]:
-        """Price candidates in order (ECC); pure reads, order-preserving."""
+        """Price candidates in order (ECC); pure reads, order-preserving.
+
+        ``use_cache=True`` opts this fan-out into the iteration-scoped
+        ECC pricing cache: a fresh epoch token rides along as the task
+        extra, so every worker (and the in-process fallback) shares one
+        :class:`~repro.core.fastecc.EccCache` per call and discards it
+        on the next.  Caching is read-only memoization of bit-identical
+        values, so results match the uncached path byte-for-byte.
+        """
+        if use_cache:
+            self._ecc_epoch += 1
+            extra: object = (bool(use_penalty), self._ecc_epoch)
+        else:
+            extra = bool(use_penalty)
         return self._dispatch(
-            "estimate", list(candidates), bool(use_penalty), ESTIMATE_CHUNK
+            "estimate", list(candidates), extra, ESTIMATE_CHUNK
         )
 
     def _dispatch(
@@ -551,8 +567,13 @@ class ParallelExecutor:
             if self._started:
                 metrics.count("par.serial_fallback_items", len(missing))
             state = self._parent_state()
-            for i in missing:
-                results[i] = parworker.compute_item(state, kind, items[i], extra)
+            try:
+                for i in missing:
+                    results[i] = parworker.compute_item(
+                        state, kind, items[i], extra
+                    )
+            finally:
+                parworker.flush_state_caches(state)
         return results
 
     def _dispatch_pool(
@@ -690,4 +711,5 @@ class ParallelExecutor:
         state.router = self.router
         state.droute = self._droute
         state._estimate_models = self._estimate_models
+        state._ecc = None
         return state

@@ -56,7 +56,7 @@ HEARTBEAT_S = 0.5
 class WorkerState:
     """One worker's routing replica plus per-process caches."""
 
-    __slots__ = ("router", "droute", "_estimate_models")
+    __slots__ = ("router", "droute", "_estimate_models", "_ecc")
 
     def __init__(self, router: "GlobalRouter") -> None:
         self.router = router
@@ -64,6 +64,19 @@ class WorkerState:
         #: (built by a ``("ds", ...)`` log entry), or None outside one
         self.droute = None
         self._estimate_models: dict[bool, tuple[object, object]] = {}
+        #: (epoch, EccCache) for the current ECC fan-out, or None.  The
+        #: epoch token ties the cache to one ``run_estimates`` call so
+        #: chunks of the same iteration share pricing work while a new
+        #: iteration (new epoch) always starts clean.
+        self._ecc: tuple[object, object] | None = None
+
+    def ecc_cache(self, epoch: object):
+        """The iteration-scoped ECC pricing cache for ``epoch``."""
+        if self._ecc is None or self._ecc[0] != epoch:
+            from repro.core.fastecc import EccCache
+
+            self._ecc = (epoch, EccCache())
+        return self._ecc[1]
 
     def estimate_models(self, use_penalty: bool) -> tuple[object, object]:
         """(CostModel, CostField) pair for candidate estimation.
@@ -138,6 +151,11 @@ def apply_entries(state: WorkerState, entries: tuple) -> None:
       parent's commit did.
     """
     router = state.router
+    if entries:
+        # Any replayed mutation can shift pin points (cell moves) or
+        # wire-cost map values (route/array entries); the ECC cache's
+        # memos key on neither, so drop it wholesale.
+        state._ecc = None
     for entry in entries:
         tag = entry[0]
         if tag == "r":
@@ -241,15 +259,28 @@ def compute_maze_route(
 
 
 def compute_estimate(
-    state: WorkerState, candidate: object, use_penalty: bool
+    state: WorkerState, candidate: object, extra: object
 ) -> float:
-    """Eq. 10 candidate cost (read-only; identical to the ECC step)."""
+    """Eq. 10 candidate cost (read-only; identical to the ECC step).
+
+    ``extra`` is either a bare ``use_penalty`` bool (legacy form) or a
+    ``(use_penalty, epoch)`` tuple; an epoch opts this fan-out into the
+    iteration-scoped :class:`~repro.core.fastecc.EccCache`.
+    """
     from repro.core.estimate import estimate_candidate_cost
 
+    if isinstance(extra, tuple):
+        use_penalty, epoch = extra
+        cache = state.ecc_cache(epoch)
+    else:
+        use_penalty = bool(extra)
+        cache = None
     model, fld = state.estimate_models(use_penalty)
     router = state.router
     with router.pattern3d.using(model, fld):
-        return estimate_candidate_cost(router.design, router, candidate)
+        return estimate_candidate_cost(
+            router.design, router, candidate, cache=cache
+        )
 
 
 def compute_droute(state: WorkerState, net_name: str):
@@ -271,10 +302,21 @@ def compute_item(state: WorkerState, kind: str, item: object, extra: object):
     if kind == "maze":
         return compute_maze_route(state.router, item[0], item[1])
     if kind == "estimate":
-        return compute_estimate(state, item, bool(extra))
+        return compute_estimate(state, item, extra)
     if kind == "droute":
         return compute_droute(state, item)
     raise ValueError(f"unknown task kind {kind!r}")
+
+
+def flush_state_caches(state: WorkerState) -> None:
+    """Publish per-state cache tallies into the current metrics registry.
+
+    Called inside the worker's per-task observability scope (and by the
+    executor's serial fallback) so ``crp.ecc_cache_*`` counts land in
+    the registry that ships back to the parent.
+    """
+    if state._ecc is not None:
+        state._ecc[1].publish_metrics()
 
 
 # --------------------------------------------------------------- main loop
@@ -356,6 +398,8 @@ def _worker_loop(worker_id: int, task_queue, result_queue, state: WorkerState) -
                             done.append(compute_item(state, kind, item, extra))
                 except DeadlineExceeded:
                     expired = True
+                finally:
+                    flush_state_caches(state)
 
             obs_payload = None
             if obs_on:

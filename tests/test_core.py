@@ -353,7 +353,7 @@ def _stub_framework(costs):
     def total_cost():
         return schedule[min(state["i"], len(schedule) - 1)]
 
-    def run_iteration(k):
+    def run_iteration(k, pre_cost=None):
         state["i"] += 1
         return IterationStats(iteration=k)
 
